@@ -1,0 +1,92 @@
+"""Ablation (§5.1.3 text): ordering protocol choice for request-reply.
+
+The paper omitted these figures to save space but reports that (i) under
+the closed approach the symmetric protocol "does not perform well, because
+it gives rise to extensive protocol related multicast traffic amongst all
+the members for ensuring order", and (ii) asymmetric ordering is the right
+choice for request/reply interactions generally (Concluding Remarks).
+
+We measure all four combinations with servers on a LAN and distant clients.
+Reproduced shapes: symmetric ordering costs extra NULL/timestamp traffic in
+*both* styles (visible as higher latency and earlier saturation than the
+asymmetric runs), and asymmetric open/closed remain the efficient choices.
+See EXPERIMENTS.md for the deviation discussion (our eager NULLs make
+closed/symmetric degrade more gently than the paper's periodic exchange).
+"""
+
+import pytest
+
+from repro.bench import print_graph, request_reply_series
+from repro.core import BindingStyle, Mode
+from repro.groupcomm import Ordering
+
+COUNTS = [1, 2, 4, 8]
+
+
+def _series(label, style, ordering):
+    return request_reply_series(
+        label,
+        "mixed",
+        counts=COUNTS,
+        replicas=3,
+        style=style,
+        ordering=ordering,
+        mode=Mode.ALL,
+    )
+
+
+@pytest.mark.benchmark(group="ablation-symmetric")
+def test_symmetric_request_reply_ablation(benchmark):
+    holder = {}
+
+    def run():
+        holder["closed-sym"] = _series(
+            "closed/symmetric", BindingStyle.CLOSED, Ordering.SYMMETRIC
+        )
+        holder["closed-asym"] = _series(
+            "closed/asymmetric", BindingStyle.CLOSED, Ordering.ASYMMETRIC
+        )
+        holder["open-sym"] = _series(
+            "open/symmetric", BindingStyle.OPEN, Ordering.SYMMETRIC
+        )
+        holder["open-asym"] = _series(
+            "open/asymmetric", BindingStyle.OPEN, Ordering.ASYMMETRIC
+        )
+        return holder
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    all_series = list(holder.values())
+    print_graph(
+        "Ablation: ordering protocol choice (servers LAN, clients distant)",
+        all_series,
+        "latency",
+    )
+    print_graph(
+        "Ablation: ordering protocol choice (servers LAN, clients distant)",
+        all_series,
+        "throughput",
+    )
+    for series in all_series:
+        benchmark.extra_info[series.label] = {
+            "latency_ms": [(x, round(v, 2)) for x, v in series.latency_curve()],
+        }
+
+    for x in COUNTS[1:]:  # beyond a single client
+        closed_sym = holder["closed-sym"].at(x)
+        closed_asym = holder["closed-asym"].at(x)
+        open_sym = holder["open-sym"].at(x)
+        open_asym = holder["open-asym"].at(x)
+        # the symmetric protocol's timestamp/NULL traffic costs latency in
+        # both styles...
+        assert closed_sym.latency_ms > closed_asym.latency_ms
+        assert open_sym.latency_ms > open_asym.latency_ms
+    # ...and the asymmetric protocol is the appropriate choice for
+    # request-reply overall (the paper's concluding remark)
+    last = COUNTS[-1]
+    best_sym = min(
+        holder["closed-sym"].at(last).latency_ms, holder["open-sym"].at(last).latency_ms
+    )
+    best_asym = min(
+        holder["closed-asym"].at(last).latency_ms, holder["open-asym"].at(last).latency_ms
+    )
+    assert best_asym < best_sym

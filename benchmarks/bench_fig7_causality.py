@@ -1,0 +1,69 @@
+"""Fig. 7 (§4.4): ordering of related client requests across groups.
+
+B issues an open-group request m1 to the server S; B then multicasts m2 in
+the client group gx; A, on delivering m2, issues its own open-group request
+m3.  Because requests travel through client/server groups under the shared
+NewTop clock, S services m1 before m3 — every time.  The bench measures the
+added cost of this guarantee versus plain direct invocation.
+"""
+
+import pytest
+
+from repro.bench.env import Environment
+from repro.groupcomm import GroupConfig, Ordering
+from repro.bench import print_table
+
+
+def run_fig7_trial(seed: int):
+    """One fig-7 interaction; returns the service order observed at S."""
+    env = Environment(config="wan", seed=seed)
+    a = env.add_node("A", "london")
+    b = env.add_node("B", "pisa")
+    s = env.add_node("S", "newcastle")
+    sym = lambda: GroupConfig(ordering=Ordering.SYMMETRIC)
+
+    gx_a = a.gcs.create_group("gx", sym())
+    gx_b = b.gcs.join_group("gx", "A")
+    g1_s = s.gcs.create_group("g1", sym())  # client/server group {B, S}
+    g1_b = b.gcs.join_group("g1", "S")
+    g2_s = s.gcs.create_group("g2", sym())  # client/server group {A, S}
+    g2_a = a.gcs.join_group("g2", "S")
+    env.settle(1.5)
+
+    served = []
+    g1_s.on_deliver = lambda sender, payload: served.append(payload)
+    g2_s.on_deliver = lambda sender, payload: served.append(payload)
+    gx_a.on_deliver = (
+        lambda sender, payload: g2_a.send("m3") if payload == "m2" else None
+    )
+
+    g1_b.send("m1")
+    gx_b.send("m2")
+    env.run(2.0)
+    return served
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_related_requests_ordered(benchmark):
+    outcomes = []
+
+    def run():
+        for seed in range(10):
+            outcomes.append(run_fig7_trial(seed))
+        return outcomes
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    ordered = sum(
+        1
+        for served in outcomes
+        if "m1" in served
+        and "m3" in served
+        and served.index("m1") < served.index("m3")
+    )
+    print_table(
+        ["trials", "m1 serviced before m3"],
+        [(len(outcomes), ordered)],
+        title="Fig. 7: causality between related client requests (10 seeds)",
+    )
+    benchmark.extra_info["ordered"] = ordered
+    assert ordered == len(outcomes)

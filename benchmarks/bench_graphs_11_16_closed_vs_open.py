@@ -1,0 +1,93 @@
+"""Graphs 11-16: closed vs open group invocation (asymmetric, wait-for-all).
+
+Three configurations, each measured as latency + throughput vs client count:
+
+- graphs 11-12: clients & servers on the same LAN — little difference
+  between the approaches (the paper's expectation in low-latency networks);
+- graphs 13-14: servers on one LAN, clients distant — the open approach is
+  most attractive (the client keeps just one message pair on the WAN);
+- graphs 15-16: geographically separated servers and clients — open clients
+  bind to a nearby member; under load open overtakes closed.
+"""
+
+import pytest
+
+from repro.bench import print_graph, request_reply_series
+from repro.core import BindingStyle, Mode
+from repro.groupcomm import Ordering
+
+
+def _series(config, style, restricted=True):
+    return request_reply_series(
+        f"{style} group",
+        config,
+        replicas=3,
+        style=style,
+        ordering=Ordering.ASYMMETRIC,
+        mode=Mode.ALL,
+        restricted=restricted,
+    )
+
+
+def _run_config(benchmark, config, graphs, description, restricted_open=True):
+    holder = {}
+
+    def run():
+        holder["closed"] = _series(config, BindingStyle.CLOSED)
+        holder["open"] = _series(config, BindingStyle.OPEN, restricted=restricted_open)
+        return holder
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    both = [holder["closed"], holder["open"]]
+    print_graph(f"{graphs} ({description})", both, "latency")
+    print_graph(f"{graphs} ({description})", both, "throughput")
+    for series in both:
+        benchmark.extra_info[series.label] = {
+            "latency_ms": [(x, round(v, 2)) for x, v in series.latency_curve()],
+            "throughput": [(x, round(v, 1)) for x, v in series.throughput_curve()],
+        }
+    return holder["closed"], holder["open"]
+
+
+@pytest.mark.benchmark(group="graphs-11-16")
+def test_graphs_11_12_lan(benchmark):
+    closed, open_ = _run_config(
+        benchmark, "lan", "Graphs 11-12", "clients & servers on the same LAN"
+    )
+    # low client counts: no significant difference on a LAN (within a few ms)
+    for x in (1, 2):
+        c, o = closed.at(x), open_.at(x)
+        if c and o:
+            assert abs(c.latency_ms - o.latency_ms) < 6.0
+
+
+@pytest.mark.benchmark(group="graphs-11-16")
+def test_graphs_13_14_servers_lan_clients_distant(benchmark):
+    closed, open_ = _run_config(
+        benchmark,
+        "mixed",
+        "Graphs 13-14",
+        "servers on the same LAN and clients distant",
+    )
+    # under load the open approach is most attractive (§5.1.3)
+    c_last, o_last = closed.points[-1], open_.points[-1]
+    assert o_last.latency_ms < c_last.latency_ms
+    assert o_last.throughput > 0.95 * c_last.throughput
+    # and at a single client the two are comparable
+    c1, o1 = closed.at(1), open_.at(1)
+    assert abs(c1.latency_ms - o1.latency_ms) < 0.4 * c1.latency_ms
+
+
+@pytest.mark.benchmark(group="graphs-11-16")
+def test_graphs_15_16_geographically_separated(benchmark):
+    closed, open_ = _run_config(
+        benchmark,
+        "wan",
+        "Graphs 15-16",
+        "geographically separated servers & clients",
+        restricted_open=False,  # clients bind to a nearby member (§4.2)
+    )
+    # under heavy load the client-side WAN multicasts of the closed approach
+    # saturate the pipes and open overtakes it
+    c_last, o_last = closed.points[-1], open_.points[-1]
+    assert o_last.latency_ms < 1.2 * c_last.latency_ms

@@ -1,0 +1,76 @@
+"""Graphs 17-18: peer participation — symmetric vs asymmetric ordering.
+
+Lively groups, every member multicasting 100-character strings as fast as
+flow control allows (§5.2).  Reported metric: group message throughput
+(msgs/sec) vs membership.
+
+Paper shapes:
+- WAN (graphs 17-18): the symmetric protocol clearly beats the asymmetric
+  one — the sequencer redirection costs extra wide-area hops ("the
+  performance of the asymmetric protocol is approximately half that of the
+  symmetric protocol").
+- LAN (discussed in the text): both degrade as membership grows; the
+  asymmetric protocol degrades faster because the sequencer's CPU becomes
+  the bottleneck.
+"""
+
+import pytest
+
+from repro.bench import peer_series, print_graph
+from repro.groupcomm import Ordering
+
+
+def _run(benchmark, config):
+    holder = {}
+
+    def run():
+        holder["sym"] = peer_series("symmetric", config, Ordering.SYMMETRIC)
+        holder["asym"] = peer_series("asymmetric", config, Ordering.ASYMMETRIC)
+        return holder
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    both = [holder["sym"], holder["asym"]]
+    print_graph(
+        f"Graphs 17-18 analogue ({config}): peer participation",
+        both,
+        "throughput",
+        x_label="members",
+    )
+    print_graph(
+        f"Peer multicast latency to all members ({config})",
+        both,
+        "latency",
+        x_label="members",
+    )
+    for series in both:
+        benchmark.extra_info[series.label] = {
+            "throughput": [(x, round(v, 1)) for x, v in series.throughput_curve()],
+            "latency_ms": [(x, round(v, 2)) for x, v in series.latency_curve()],
+        }
+    return holder["sym"], holder["asym"]
+
+
+@pytest.mark.benchmark(group="graphs-17-18")
+def test_graphs_17_18_peer_wan(benchmark):
+    sym, asym = _run(benchmark, "wan")
+    # symmetric is superior over the Internet at every membership beyond a
+    # pair: redirection through the sequencer costs asymmetric extra WAN
+    # hops (the gap grows once members span all three sites)
+    for x in [p.x for p in sym.points]:
+        s, a = sym.at(x), asym.at(x)
+        if s and a and x >= 3:
+            assert s.throughput > 1.1 * a.throughput
+    last_x = sym.points[-1].x
+    assert sym.at(last_x).throughput > 1.2 * asym.at(last_x).throughput
+
+
+@pytest.mark.benchmark(group="graphs-17-18")
+def test_peer_lan_sequencer_bottleneck(benchmark):
+    sym, asym = _run(benchmark, "lan")
+    # in the LAN the sequencer is the bottleneck: asymmetric throughput
+    # falls behind symmetric and the gap widens with membership
+    small, large = sym.points[0].x, sym.points[-1].x
+    gap_small = sym.at(small).throughput / max(asym.at(small).throughput, 1)
+    gap_large = sym.at(large).throughput / max(asym.at(large).throughput, 1)
+    assert sym.at(large).throughput > asym.at(large).throughput
+    assert gap_large > gap_small * 0.9  # the gap does not close under load

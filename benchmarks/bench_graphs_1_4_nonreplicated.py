@@ -1,0 +1,80 @@
+"""Graphs 1-4: non-replicated server accessed via the NewTop service.
+
+- Graphs 1-2: clients on the same LAN as the server — a handful of clients
+  saturate the server; latency climbs with client count.
+- Graphs 3-4: distant clients (London/Pisa -> Newcastle) — throughput keeps
+  growing with client count; latency stays near the WAN floor much longer.
+"""
+
+import pytest
+
+from repro.bench import client_counts, print_graph, request_reply_series
+from repro.core import BindingStyle, Mode
+
+
+def _series(config, label):
+    return request_reply_series(
+        label,
+        config,
+        replicas=1,
+        style=BindingStyle.CLOSED,
+        mode=Mode.ALL,
+    )
+
+
+@pytest.mark.benchmark(group="graphs-1-4")
+def test_graphs_1_2_nonreplicated_lan(benchmark):
+    holder = {}
+
+    def run():
+        holder["series"] = _series("lan", "NewTop, non-replicated (LAN)")
+        return holder["series"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    series = holder["series"]
+    print_graph("Graph 1: non-replicated server, clients on same LAN", [series], "latency")
+    print_graph("Graph 2: non-replicated server, clients on same LAN", [series], "throughput")
+    benchmark.extra_info["latency_ms"] = [
+        (x, round(v, 2)) for x, v in series.latency_curve()
+    ]
+    benchmark.extra_info["throughput"] = [
+        (x, round(v, 1)) for x, v in series.throughput_curve()
+    ]
+
+    first = series.points[0]
+    last = series.points[-1]
+    peak = max(p.throughput for p in series.points)
+    # shape: saturation with few clients — by 4 clients throughput is close
+    # to the peak, and latency grows steeply with client count
+    by_four = series.at(4) or series.at(2)
+    assert by_four.throughput > 0.75 * peak
+    assert last.latency_ms > 3 * first.latency_ms
+
+
+@pytest.mark.benchmark(group="graphs-1-4")
+def test_graphs_3_4_nonreplicated_distant_clients(benchmark):
+    holder = {}
+
+    def run():
+        holder["series"] = _series("mixed", "NewTop, non-replicated (distant clients)")
+        return holder["series"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    series = holder["series"]
+    print_graph("Graph 3: non-replicated server, distant clients", [series], "latency")
+    print_graph("Graph 4: non-replicated server, distant clients", [series], "throughput")
+    benchmark.extra_info["latency_ms"] = [
+        (x, round(v, 2)) for x, v in series.latency_curve()
+    ]
+    benchmark.extra_info["throughput"] = [
+        (x, round(v, 1)) for x, v in series.throughput_curve()
+    ]
+
+    first = series.points[0]
+    last = series.points[-1]
+    # shape: throughput rises with client count (the server is far from
+    # saturated by one distant client) while latency grows only gently
+    assert last.throughput > 5 * first.throughput
+    assert last.latency_ms < 6 * first.latency_ms
+    # a single distant client gets far lower throughput than the LAN case
+    assert first.throughput < 120

@@ -1,0 +1,81 @@
+"""Table 1: performance of plain CORBA (no group service).
+
+Paper rows: client+server on one LAN; Pisa->Newcastle; London->Newcastle;
+Pisa->London.  We report timed-request latency (ms) and requests/second,
+and additionally the NewTop-vs-CORBA single-client ratio the paper quotes
+(~2.5x, §5.1.1).
+"""
+
+import pytest
+
+from repro.bench import corba_baseline, print_table, request_reply_point
+from repro.core import BindingStyle, Mode
+
+CASES = [
+    ("client and server on LAN", "newcastle", "newcastle"),
+    ("client Pisa -> server Newcastle", "pisa", "newcastle"),
+    ("client London -> server Newcastle", "london", "newcastle"),
+    ("client Pisa -> server London", "pisa", "london"),
+]
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_corba_baseline(benchmark):
+    results = {}
+
+    def run():
+        for label, client_site, server_site in CASES:
+            results[label] = corba_baseline(client_site, server_site)
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        (label, point.latency_ms, point.throughput)
+        for label, point in results.items()
+    ]
+    print_table(
+        ["configuration", "timed request (ms)", "requests/sec"],
+        rows,
+        title="Table 1: performance of CORBA (plain ORB, no group service)",
+    )
+    for label, point in results.items():
+        benchmark.extra_info[label] = {
+            "latency_ms": round(point.latency_ms, 3),
+            "throughput": round(point.throughput, 1),
+        }
+
+    lan = results["client and server on LAN"]
+    pisa = results["client Pisa -> server Newcastle"]
+    london = results["client London -> server Newcastle"]
+    # shape: LAN around 1 ms; WAN dominated by the path RTT, Pisa > London
+    assert 0.2 < lan.latency_ms < 2.0
+    assert pisa.latency_ms > london.latency_ms > lan.latency_ms
+    assert pisa.latency_ms > 15.0
+
+
+@pytest.mark.benchmark(group="table1")
+def test_newtop_vs_corba_single_client_ratio(benchmark):
+    """§5.1.1: one client through NewTop costs ~2.5x a plain CORBA call."""
+    outcome = {}
+
+    def run():
+        outcome["corba"] = corba_baseline("newcastle", "newcastle")
+        outcome["newtop"] = request_reply_point(
+            "lan", 1, replicas=1, style=BindingStyle.CLOSED, mode=Mode.ALL
+        )
+        return outcome
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = outcome["newtop"].latency_ms / outcome["corba"].latency_ms
+    print_table(
+        ["path", "latency (ms)"],
+        [
+            ("plain CORBA (LAN)", outcome["corba"].latency_ms),
+            ("via NewTop service (LAN)", outcome["newtop"].latency_ms),
+            ("ratio", ratio),
+        ],
+        title="NewTop overhead vs plain CORBA (paper: ~2.5x, fig. 9)",
+    )
+    benchmark.extra_info["ratio"] = round(ratio, 2)
+    assert 1.8 < ratio < 3.5

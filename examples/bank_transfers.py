@@ -1,0 +1,114 @@
+"""Transactional replication: concurrent bank transfers (ref [16]).
+
+Three replicas of a transactional account store; two tellers issue
+transfers concurrently through closed-group bindings.  Optimistic commits
+travel as single totally ordered invocations, so every replica reaches the
+same verdict for every transaction — conflicting transfers abort and retry,
+money is conserved, and the replicas stay byte-identical.
+
+Run:  python examples/bank_transfers.py
+"""
+
+from repro.apps import TransactionClient, TransactionalStoreServant, TxAborted
+from repro.core import BindingStyle, Mode, NewTopService
+from repro.net import Network, Topology
+from repro.orb import NameServer, ORB
+from repro.sim import Simulator, all_of, spawn
+
+ACCOUNTS = {"alice": 500, "bob": 300, "carol": 200}
+
+
+def main():
+    sim = Simulator(seed=4)
+    net = Network(sim, Topology.single_lan("bank"))
+    ns = ORB(net.new_node("registry", "bank")).register(NameServer())
+
+    def newtop(name):
+        return NewTopService(ORB(net.new_node(name, "bank")), name_server=ns)
+
+    replicas = []
+    for i in range(3):
+        service = newtop(f"vault{i}")
+        replicas.append(service.serve("accounts", TransactionalStoreServant()))
+        sim.run(until=sim.now + 0.3)
+    tellers = [newtop("teller0"), newtop("teller1")]
+    bindings = [t.bind("accounts", style=BindingStyle.CLOSED) for t in tellers]
+    sim.run(until=sim.now + 1.0)
+    assert all(b.ready.done for b in bindings)
+    clients = [TransactionClient(b) for b in bindings]
+
+    # --- seed the accounts -------------------------------------------------
+    def seed():
+        tx = clients[0].begin()
+        for account, balance in ACCOUNTS.items():
+            tx.write(account, balance)
+        yield tx.commit(mode=Mode.ALL)
+
+    run(sim, seed())
+    print("opening balances:", ACCOUNTS)
+
+    # --- two tellers transfer concurrently (and conflict on 'bob') --------
+    stats = {"commits": 0, "retries": 0}
+
+    def transfer(client, src, dst, amount):
+        def proc():
+            for _attempt in range(10):
+                tx = client.begin()
+                src_balance = yield tx.read(src)
+                dst_balance = yield tx.read(dst)
+                if src_balance < amount:
+                    tx.abort()
+                    return False
+                tx.write(src, src_balance - amount)
+                tx.write(dst, dst_balance + amount)
+                try:
+                    yield tx.commit(mode=Mode.MAJORITY)
+                except TxAborted:
+                    stats["retries"] += 1
+                    continue
+                stats["commits"] += 1
+                return True
+            return False
+
+        return proc()
+
+    transfers = [
+        spawn(sim, transfer(clients[0], "alice", "bob", 120)),
+        spawn(sim, transfer(clients[1], "bob", "carol", 80)),
+        spawn(sim, transfer(clients[0], "bob", "alice", 40)),
+        spawn(sim, transfer(clients[1], "carol", "alice", 60)),
+    ]
+    sim.run(until=sim.now + 10.0)
+    assert all(t.done and t.result() for t in transfers), "a transfer failed"
+    print(f"4 transfers committed ({stats['retries']} optimistic retries)")
+
+    # --- verify conservation and replica agreement ------------------------
+    def audit():
+        tx = clients[1].begin()
+        balances = {}
+        for account in ACCOUNTS:
+            balances[account] = yield tx.read(account)
+        tx.abort()  # read-only: nothing to commit
+        return balances
+
+    balances = run(sim, audit())
+    print("closing balances:", balances)
+    assert sum(balances.values()) == sum(ACCOUNTS.values()), "money leaked!"
+    sim.run(until=sim.now + 1.0)
+    digests = {r.servant.checksum() for r in replicas}
+    print("replicas identical:", len(digests) == 1)
+    print("per-replica commits/aborts:",
+          [(r.servant.commits, r.servant.aborts) for r in replicas])
+    assert len(digests) == 1
+    print("\nbank demo complete at simulated t=%.3fs" % sim.now)
+
+
+def run(sim, generator):
+    proc = spawn(sim, generator)
+    sim.run(until=sim.now + 10.0)
+    assert proc.done, "process did not finish"
+    return proc.result()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""repro — a reproduction of Morgan & Shrivastava, "Implementing Flexible
+Object Group Invocation in Networked Systems" (DSN 2000): the NewTop CORBA
+object group service.
+
+Layers (bottom-up):
+
+- :mod:`repro.sim`  — deterministic discrete-event kernel.
+- :mod:`repro.net`  — simulated LAN/WAN topologies, hosts with serial CPUs.
+- :mod:`repro.orb`  — mini-CORBA ORB (IORs, marshalling, request/reply).
+- :mod:`repro.groupcomm` — NewTop group communication: virtual synchrony,
+  causal + total order (symmetric and asymmetric), overlapping groups.
+- :mod:`repro.core` — the paper's contribution: the flexible invocation layer
+  (open/closed groups, invocation modes, optimisations, group-to-group).
+- :mod:`repro.apps` — example application servants.
+- :mod:`repro.bench` — the experiment harness reproducing Section 5.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,31 @@
+"""Example application servants and peer-group applications.
+
+- :class:`RandomNumberServant` — the paper's §5.1 benchmark service.
+- :class:`KVStoreServant` — replicated data management (§1's motivation).
+- :class:`ChatMember` — conferencing / IRC-style peer participation (§5.2).
+- :class:`WhiteboardMember` — a convergent shared whiteboard (§5.2).
+"""
+
+from repro.apps.chat import ChatMember, PAYLOAD_CHARS, make_peer_config
+from repro.apps.kvstore import KVStoreServant
+from repro.apps.randserver import RandomNumberServant
+from repro.apps.transactions import (
+    Transaction,
+    TransactionClient,
+    TransactionalStoreServant,
+    TxAborted,
+)
+from repro.apps.whiteboard import WhiteboardMember
+
+__all__ = [
+    "RandomNumberServant",
+    "KVStoreServant",
+    "ChatMember",
+    "WhiteboardMember",
+    "make_peer_config",
+    "PAYLOAD_CHARS",
+    "TransactionalStoreServant",
+    "TransactionClient",
+    "Transaction",
+    "TxAborted",
+]

@@ -1,0 +1,116 @@
+"""Benchmark environments: the paper's deployment configurations (§5).
+
+Three request-reply configurations:
+
+- ``lan``   — clients and servers all on the same LAN (configuration i);
+- ``mixed`` — servers on the Newcastle LAN, clients split between London
+  and Pisa (configuration ii);
+- ``wan``   — servers and clients geographically separated across
+  Newcastle, London, and Pisa (configuration iii).
+
+Peer experiments use ``lan`` or ``wan`` member placement.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from repro.core import NewTopService
+from repro.net import Network, Topology
+from repro.orb import NameServer, ORB
+from repro.sim import Simulator
+
+__all__ = ["Environment", "REQUEST_REPLY_CONFIGS", "SITES"]
+
+SITES = ("newcastle", "london", "pisa")
+
+REQUEST_REPLY_CONFIGS = ("lan", "mixed", "wan")
+
+
+def _server_site(config: str, index: int) -> str:
+    if config in ("lan", "mixed"):
+        return "newcastle"
+    return SITES[index % len(SITES)]
+
+
+def _client_site(config: str, index: int) -> str:
+    if config == "lan":
+        return "newcastle"
+    if config == "mixed":
+        # clients "equally distributed between London and Pisa"
+        return ("london", "pisa")[index % 2]
+    # wan: spread, offset from the server placement so client i is not
+    # colocated with server i
+    return SITES[(index + 1) % len(SITES)]
+
+
+class Environment:
+    """A simulated deployment: topology, nodes, NewTop services, registry."""
+
+    def __init__(self, config: str = "lan", seed: int = 42):
+        if config not in REQUEST_REPLY_CONFIGS:
+            raise ValueError(f"unknown environment config {config!r}")
+        self.config = config
+        self.sim = Simulator(seed=seed)
+        if config == "lan":
+            self.topology = Topology.single_lan("newcastle")
+        else:
+            self.topology = Topology.paper_wan()
+        self.net = Network(self.sim, self.topology)
+        self.services: Dict[str, NewTopService] = {}
+        self._ids = itertools.count()
+
+        registry_node = self.net.new_node("registry", "newcastle")
+        registry_orb = ORB(registry_node)
+        self.name_server_ref = registry_orb.register(
+            NameServer(), object_id="NameService"
+        )
+
+    # ------------------------------------------------------------------
+    # node construction
+    # ------------------------------------------------------------------
+    def add_node(self, name: str, site: str) -> NewTopService:
+        node = self.net.new_node(name, site)
+        service = NewTopService(ORB(node), name_server=self.name_server_ref)
+        self.services[name] = service
+        return service
+
+    def add_servers(self, count: int) -> List[NewTopService]:
+        return [
+            self.add_node(f"s{i}", _server_site(self.config, i)) for i in range(count)
+        ]
+
+    def add_clients(self, count: int) -> List[NewTopService]:
+        return [
+            self.add_node(f"c{i}", _client_site(self.config, i)) for i in range(count)
+        ]
+
+    def add_peers(self, count: int) -> List[NewTopService]:
+        """Peer-group members: LAN config colocates, wan spreads over sites."""
+        return [
+            self.add_node(f"p{i}", _server_site(self.config, i)) for i in range(count)
+        ]
+
+    # ------------------------------------------------------------------
+    # execution helpers
+    # ------------------------------------------------------------------
+    def run(self, duration: float) -> None:
+        self.sim.run(until=self.sim.now + duration)
+
+    def settle(self, duration: float = 1.0) -> None:
+        """Let group formation and registry traffic quiesce."""
+        self.run(duration)
+
+    def serve_replicas(self, service_name: str, servant_factory, count: int, **kwargs):
+        """Start ``count`` replicas sequentially; returns the server objects."""
+        services = self.add_servers(count)
+        servers = []
+        for service in services:
+            servers.append(service.serve(service_name, servant_factory(), **kwargs))
+            self.run(0.25)
+        self.settle(0.5)
+        for server in servers:
+            if not server.ready.done:
+                raise RuntimeError(f"replica failed to start: {server!r}")
+        return servers

@@ -1,0 +1,90 @@
+"""Paper-style result tables for the benchmark harness.
+
+Output goes to stdout *and* is appended to a report file (pytest captures
+stdout of passing tests, so the file is the durable artefact).  Set
+``REPRO_BENCH_REPORT`` to change the path; default ``bench_report.txt`` in
+the working directory.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence
+
+from repro.bench.stats import Series
+
+__all__ = ["format_table", "format_graph", "print_graph", "print_table", "emit"]
+
+
+def emit(text: str) -> None:
+    """Print and append to the benchmark report file."""
+    print()
+    print(text)
+    path = os.environ.get("REPRO_BENCH_REPORT", "bench_report.txt")
+    if path:
+        try:
+            with open(path, "a", encoding="utf-8") as fh:
+                fh.write(text + "\n\n")
+        except OSError:
+            pass
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Render an ASCII table."""
+    columns = [str(h) for h in headers]
+    text_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(columns)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell >= 100:
+            return f"{cell:.0f}"
+        if cell >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_graph(
+    title: str,
+    series: List[Series],
+    metric: str = "latency",
+    x_label: str = "clients",
+) -> str:
+    """Render one paper graph as a table: x vs one column per series."""
+    xs = sorted({p.x for s in series for p in s.points})
+    headers = [x_label] + [s.label for s in series]
+    rows = []
+    for x in xs:
+        row = [x]
+        for s in series:
+            point = s.at(x)
+            if point is None:
+                row.append("-")
+            elif metric == "latency":
+                row.append(point.latency_ms)
+            else:
+                row.append(point.throughput)
+        rows.append(row)
+    unit = "latency (ms)" if metric == "latency" else "throughput (/s)"
+    return format_table(headers, rows, title=f"{title} — {unit}")
+
+
+def print_graph(title: str, series: List[Series], metric: str = "latency", x_label: str = "clients") -> None:
+    emit(format_graph(title, series, metric=metric, x_label=x_label))
+
+
+def print_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> None:
+    emit(format_table(headers, rows, title=title))

@@ -1,0 +1,94 @@
+"""Measurement containers and summary statistics."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+__all__ = ["LatencySample", "summarize", "Point", "Series"]
+
+
+def summarize(values: List[float]) -> Dict[str, float]:
+    """Mean / median / p95 / min / max of a sample (seconds in, seconds out)."""
+    if not values:
+        return {"count": 0, "mean": 0.0, "median": 0.0, "p95": 0.0, "min": 0.0, "max": 0.0}
+    ordered = sorted(values)
+    count = len(ordered)
+
+    def percentile(p: float) -> float:
+        if count == 1:
+            return ordered[0]
+        rank = p * (count - 1)
+        low = int(math.floor(rank))
+        high = min(low + 1, count - 1)
+        frac = rank - low
+        value = ordered[low] * (1 - frac) + ordered[high] * frac
+        # interpolation can drift an ulp outside the sample range
+        return min(max(value, ordered[low]), ordered[high])
+
+    # float summation can drift the mean an ulp outside the sample range
+    mean = min(max(sum(ordered) / count, ordered[0]), ordered[-1])
+    return {
+        "count": count,
+        "mean": mean,
+        "median": percentile(0.5),
+        "p95": percentile(0.95),
+        "min": ordered[0],
+        "max": ordered[-1],
+    }
+
+
+class LatencySample:
+    """Accumulates per-request latencies (seconds)."""
+
+    def __init__(self):
+        self.values: List[float] = []
+
+    def add(self, seconds: float) -> None:
+        self.values.append(seconds)
+
+    def extend(self, other: "LatencySample") -> None:
+        self.values.extend(other.values)
+
+    @property
+    def mean_ms(self) -> float:
+        return summarize(self.values)["mean"] * 1e3
+
+    def summary_ms(self) -> Dict[str, float]:
+        return {k: (v * 1e3 if k != "count" else v) for k, v in summarize(self.values).items()}
+
+
+class Point:
+    """One point of a paper graph: x (e.g. client count) -> measurements."""
+
+    def __init__(self, x: float, latency_ms: float, throughput: float, extra=None):
+        self.x = x
+        self.latency_ms = latency_ms
+        self.throughput = throughput
+        self.extra = extra or {}
+
+    def __repr__(self) -> str:
+        return f"Point(x={self.x}, {self.latency_ms:.2f}ms, {self.throughput:.0f}/s)"
+
+
+class Series:
+    """One curve of a paper graph."""
+
+    def __init__(self, label: str):
+        self.label = label
+        self.points: List[Point] = []
+
+    def add(self, point: Point) -> None:
+        self.points.append(point)
+
+    def latency_curve(self) -> List[tuple]:
+        return [(p.x, p.latency_ms) for p in self.points]
+
+    def throughput_curve(self) -> List[tuple]:
+        return [(p.x, p.throughput) for p in self.points]
+
+    def at(self, x: float) -> Optional[Point]:
+        for point in self.points:
+            if point.x == x:
+                return point
+        return None

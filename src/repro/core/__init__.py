@@ -1,0 +1,34 @@
+"""The paper's contribution: the flexible object group invocation layer.
+
+Entry point: :class:`NewTopService` (one per node) — host replicated
+services (``serve``), bind to them as a client with closed or open groups
+(``bind``), invoke group-to-group (``bind_group_to_group``), or run peer
+participation groups (``create_peer_group``).
+"""
+
+from repro.core.client import GroupBinding, InvocationResult
+from repro.core.group_to_group import GroupToGroupBinding
+from repro.core.messages import InvokeMsg, ReplyMsg, ReplySet, StateUpdate
+from repro.core.modes import BindingStyle, Mode, ReplicationPolicy, replies_needed
+from repro.core.registry import ServiceRegistry, client_sink_id, server_servant_id
+from repro.core.server import ObjectGroupServer
+from repro.core.service import NewTopService
+
+__all__ = [
+    "NewTopService",
+    "ObjectGroupServer",
+    "GroupBinding",
+    "GroupToGroupBinding",
+    "InvocationResult",
+    "Mode",
+    "BindingStyle",
+    "ReplicationPolicy",
+    "replies_needed",
+    "ServiceRegistry",
+    "InvokeMsg",
+    "ReplyMsg",
+    "ReplySet",
+    "StateUpdate",
+    "client_sink_id",
+    "server_servant_id",
+]

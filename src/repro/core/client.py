@@ -1,0 +1,452 @@
+"""Client-side invocation layer: bindings to object groups.
+
+A :class:`GroupBinding` is the client's handle on a replicated service.
+Depending on its style it builds a different client/server group (§2.1):
+
+- **closed** — the group spans the client and *all* servers; the client
+  multicasts requests directly (it participates in the group protocols) and
+  servers reply point-to-point.  Server failures are masked automatically.
+- **open** — the group pairs the client with exactly one server, its
+  request manager; the manager re-multicasts inside the server group and
+  returns the gathered replies.  The client stays out of the server group's
+  protocols (the WAN-friendly configuration).  If the manager fails, the
+  binding rebinds to another member — the paper's smart-proxy behaviour —
+  and retries outstanding calls under their original call numbers, which
+  the servers' reply caches make idempotent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.messages import InvokeMsg, ReplyMsg, ReplySet
+from repro.core.modes import BindingStyle, Mode, replies_needed
+from repro.core.registry import server_servant_id
+from repro.errors import ApplicationError, BindingBroken, CommFailure
+from repro.groupcomm.config import GroupConfig, Liveliness, Ordering
+from repro.orb.ior import IOR
+from repro.sim.futures import Future
+from repro.sim.process import all_of
+
+__all__ = ["GroupBinding", "InvocationResult"]
+
+
+class InvocationResult:
+    """The replies gathered for one invocation."""
+
+    def __init__(self, replies: List[ReplyMsg]):
+        self.replies = list(replies)
+
+    @property
+    def value(self) -> Any:
+        """The first successful reply value; raises if none succeeded."""
+        for reply in self.replies:
+            if reply.ok:
+                return reply.value
+        if self.replies:
+            raise ApplicationError(str(self.replies[0].value))
+        raise ApplicationError("no replies")
+
+    def values(self) -> List[Any]:
+        return [reply.value for reply in self.replies if reply.ok]
+
+    def by_member(self) -> Dict[str, Any]:
+        return {reply.member: reply.value for reply in self.replies if reply.ok}
+
+    def __len__(self) -> int:
+        return len(self.replies)
+
+    def __repr__(self) -> str:
+        return f"InvocationResult({len(self.replies)} replies)"
+
+
+class _PendingCall:
+    """Client-side state for one outstanding invocation."""
+
+    __slots__ = ("call_no", "operation", "args", "mode", "future", "replies", "timer")
+
+    def __init__(self, call_no: int, operation: str, args: Tuple, mode: str, future: Future):
+        self.call_no = call_no
+        self.operation = operation
+        self.args = args
+        self.mode = mode
+        self.future = future
+        self.replies: Dict[str, ReplyMsg] = {}
+        self.timer = None
+
+
+class GroupBinding:
+    """A client's binding to one replicated service."""
+
+    def __init__(
+        self,
+        service,
+        service_name: str,
+        style: str = BindingStyle.OPEN,
+        ordering: str = Ordering.ASYMMETRIC,
+        liveliness: str = Liveliness.EVENT_DRIVEN,
+        restricted: bool = True,
+        manager: Optional[str] = None,
+        auto_rebind: bool = True,
+        null_delay: float = 1e-3,
+        suspicion_timeout: float = 300e-3,
+        flush_timeout: float = 150e-3,
+    ):
+        if style not in BindingStyle.ALL_STYLES:
+            raise ValueError(f"unknown binding style {style!r}")
+        self.service = service
+        self.sim = service.sim
+        self.orb = service.orb
+        self.client_id = service.orb.node.name
+        self.service_name = service_name
+        self.style = style
+        self.ordering = ordering
+        self.liveliness = liveliness
+        self.restricted = restricted
+        self.manager_override = manager
+        self.auto_rebind = auto_rebind
+        self.null_delay = null_delay
+        self.suspicion_timeout = suspicion_timeout
+        self.flush_timeout = flush_timeout
+
+        self.ready = Future(name=f"bound:{service_name}@{self.client_id}")
+        self.manager: Optional[str] = None  # open style: current request manager
+        self.servers: List[str] = []
+        self.rebinds = 0
+        self._epoch_no = 0
+        self._gc = None  # the client/server group session
+        self._bound = False
+        self._closed = False
+        self._pending: Dict[int, _PendingCall] = {}
+        self._queued: List[_PendingCall] = []
+        self._start_bind()
+
+    # ------------------------------------------------------------------
+    # binding
+    # ------------------------------------------------------------------
+    @property
+    def group_name(self) -> Optional[str]:
+        return self._gc.group if self._gc else None
+
+    def _start_bind(self) -> None:
+        if self.service.registry is None:
+            self.ready.try_fail(BindingBroken("no registry configured"))
+            return
+        lookup = self.service.registry.lookup(self.service_name)
+        lookup.add_done_callback(self._on_lookup)
+
+    def _on_lookup(self, fut: Future) -> None:
+        if self._closed:
+            return
+        if fut.failed:
+            self.ready.try_fail(
+                BindingBroken(f"service {self.service_name!r} not advertised")
+            )
+            self._fail_outstanding(BindingBroken("bind failed"))
+            return
+        members = self.service.registry.members_of(fut.result())
+        self._bind_to(members)
+
+    def _bind_to(self, members: List[str]) -> None:
+        self.servers = list(members)
+        self._epoch_no = self.service.next_binding_epoch()
+        if self.style == BindingStyle.CLOSED:
+            targets = list(members)
+            hint = members[0]
+        else:
+            targets = [self._choose_manager(members)]
+            self.manager = targets[0]
+            hint = targets[0]
+        gc_name = f"cs:{self.client_id}:{self.service_name}:{self._epoch_no}"
+        config = GroupConfig(
+            ordering=self.ordering,
+            liveliness=self.liveliness,
+            null_delay=self.null_delay,
+            suspicion_timeout=self.suspicion_timeout,
+            flush_timeout=self.flush_timeout,
+            sequencer_hint=hint,
+        )
+        self._gc = self.service.gcs.create_group(gc_name, config)
+        self._gc.on_deliver = self._on_gc_deliver
+        self._gc.on_view = self._on_gc_view
+        joins = []
+        for target in targets:
+            servant = IOR(target, "RootPOA", server_servant_id(self.service_name))
+            joins.append(
+                self.orb.invoke(
+                    servant,
+                    "join_client_group",
+                    (gc_name, self.client_id, self.style),
+                    timeout=2.0,
+                )
+            )
+        all_of(joins).add_done_callback(lambda f: self._on_joins_done(f, len(targets)))
+
+    def _choose_manager(self, members: List[str]) -> str:
+        if self.manager_override and self.manager_override in members:
+            return self.manager_override
+        if self.restricted:
+            # restricted group optimisation: everyone uses the designated
+            # manager — the server group's first member (its sequencer)
+            return members[0]
+        # unrestricted: "clients can select any member of the server group"
+        # (§4.2) — prefer one on our own site (cheap client/server path),
+        # otherwise spread clients across members deterministically
+        network = self.orb.node.network
+        if network is not None:
+            my_site = self.orb.node.site
+            for member in members:
+                node = network.nodes.get(member)
+                if node is not None and node.site == my_site:
+                    return member
+        index = sum(ord(ch) for ch in self.client_id) % len(members)
+        return members[index]
+
+    def _on_joins_done(self, fut: Future, expected: int) -> None:
+        if self._closed:
+            return
+        if fut.failed:
+            self._handle_bind_failure(fut.exception)
+            return
+        self._await_view(expected + 1)
+
+    def _await_view(self, size: int) -> None:
+        if self._gc.view is not None and len(self._gc.view.members) >= size:
+            self._become_bound()
+            return
+        self.sim.schedule(1e-3, self._await_view, size)
+
+    def _become_bound(self) -> None:
+        self._bound = True
+        self.ready.try_resolve(self)
+        queued, self._queued = self._queued, []
+        for pending in queued:
+            self._transmit(pending)
+
+    def _handle_bind_failure(self, exc: BaseException) -> None:
+        if isinstance(exc, (CommFailure,)) and self.auto_rebind and self.style == BindingStyle.OPEN:
+            self._rebind(exclude=self.manager)
+            return
+        self.ready.try_fail(exc)
+        self._fail_outstanding(exc)
+
+    # ------------------------------------------------------------------
+    # invocation
+    # ------------------------------------------------------------------
+    def invoke(
+        self,
+        operation: str,
+        args: Tuple = (),
+        mode: str = Mode.ALL,
+        timeout: Optional[float] = None,
+    ) -> Future:
+        """Invoke the replicated service.
+
+        Resolves with an :class:`InvocationResult` (or ``None`` for
+        one-way sends).  ``timeout`` bounds the wait in virtual seconds.
+        """
+        if self._closed:
+            done = Future()
+            done.fail(BindingBroken("binding closed"))
+            return done
+        if mode not in Mode.ALL_MODES:
+            raise ValueError(f"unknown invocation mode {mode!r}")
+        future = Future(name=f"call:{operation}@{self.client_id}")
+        call_no = self.service.next_call_no()
+        pending = _PendingCall(call_no, operation, tuple(args), mode, future)
+        if mode == Mode.ONE_WAY:
+            if self._bound:
+                self._send_invoke(pending)
+            else:
+                self._queued.append(pending)
+            future.resolve(None)
+            return future
+        self._pending[call_no] = pending
+        self.service.register_pending(call_no, self)
+        if timeout is not None:
+            pending.timer = self.sim.schedule(
+                timeout, self._on_call_timeout, call_no
+            )
+        if self._bound:
+            self._transmit(pending)
+        else:
+            self._queued.append(pending)
+        return future
+
+    def call(self, operation: str, args: Tuple = (), mode: str = Mode.FIRST,
+             timeout: Optional[float] = None) -> Future:
+        """Like :meth:`invoke` but resolves with the first reply *value*."""
+        result = Future(name=f"value:{operation}")
+        inner = self.invoke(operation, args, mode=mode, timeout=timeout)
+
+        def unwrap(fut: Future) -> None:
+            if fut.failed:
+                result.fail(fut.exception)
+            else:
+                outcome = fut.result()
+                try:
+                    result.resolve(outcome.value if outcome is not None else None)
+                except Exception as exc:  # noqa: BLE001 - servant error
+                    result.fail(exc)
+
+        inner.add_done_callback(unwrap)
+        return result
+
+    def _transmit(self, pending: _PendingCall) -> None:
+        self._send_invoke(pending)
+
+    def _send_invoke(self, pending: _PendingCall) -> None:
+        message = InvokeMsg(
+            self.client_id,
+            pending.call_no,
+            pending.operation,
+            pending.args,
+            pending.mode,
+            False,
+            "",
+        )
+        self._gc.send(message)
+
+    def _on_call_timeout(self, call_no: int) -> None:
+        pending = self._pending.pop(call_no, None)
+        if pending is None:
+            return
+        self.service.unregister_pending(call_no)
+        pending.future.try_fail(
+            CommFailure(f"call #{call_no} ({pending.operation}) timed out")
+        )
+
+    # ------------------------------------------------------------------
+    # reply paths
+    # ------------------------------------------------------------------
+    def _on_gc_deliver(self, sender: str, payload: Any) -> None:
+        """Open-style replies (ReplySets) travelling back through the gc."""
+        if isinstance(payload, ReplySet):
+            pending = self._pending.pop(payload.call_no, None)
+            if pending is None:
+                return
+            self.service.unregister_pending(payload.call_no)
+            if pending.timer is not None:
+                pending.timer.cancel()
+            pending.future.try_resolve(InvocationResult(payload.replies))
+
+    def on_direct_reply(self, reply: ReplyMsg) -> None:
+        """Closed-style replies arriving point-to-point at the client sink."""
+        pending = self._pending.get(reply.call_no)
+        if pending is None:
+            return
+        pending.replies[reply.member] = reply
+        self._check_satisfied(pending)
+
+    def _check_satisfied(self, pending: _PendingCall) -> None:
+        server_count = self._closed_server_count()
+        if server_count <= 0:
+            return
+        needed = replies_needed(pending.mode, server_count)
+        if len(pending.replies) < needed:
+            return
+        self._pending.pop(pending.call_no, None)
+        self.service.unregister_pending(pending.call_no)
+        if pending.timer is not None:
+            pending.timer.cancel()
+        pending.future.try_resolve(InvocationResult(list(pending.replies.values())))
+
+    def _closed_server_count(self) -> int:
+        if self._gc is None or self._gc.view is None:
+            return len(self.servers)
+        return max(1, len(self._gc.view.members) - 1)
+
+    # ------------------------------------------------------------------
+    # view changes: failure masking (closed) and rebinding (open)
+    # ------------------------------------------------------------------
+    def _on_gc_view(self, view, joined: List[str], left: List[str]) -> None:
+        if self._closed:
+            return
+        if self.style == BindingStyle.CLOSED:
+            # a failed server is simply removed: outstanding calls now need
+            # fewer replies (automatic failure masking, §2.1)
+            for pending in list(self._pending.values()):
+                self._check_satisfied(pending)
+            return
+        if self._bound and self.manager in left:
+            self._manager_failed()
+
+    def _manager_failed(self) -> None:
+        failed_manager = self.manager
+        self._bound = False
+        if not self.auto_rebind:
+            self._fail_outstanding(
+                BindingBroken(f"request manager {failed_manager} failed")
+            )
+            return
+        self._rebind(exclude=failed_manager)
+
+    #: how many times a rebind retries an unreachable registry before the
+    #: binding is declared broken, and the delay between attempts
+    REBIND_ATTEMPTS = 10
+    REBIND_RETRY_DELAY = 0.5
+
+    def _rebind(self, exclude: Optional[str], attempt: int = 0) -> None:
+        """Create a fresh client/server group around a surviving member."""
+        if attempt == 0:
+            self.rebinds += 1
+            if self._gc is not None:
+                self._gc.leave()
+                self._gc = None
+        lookup = self.service.registry.lookup(self.service_name)
+
+        def on_lookup(fut: Future) -> None:
+            if self._closed:
+                return
+            if fut.failed:
+                # the registry may be temporarily unreachable (e.g. we are
+                # on the wrong side of a partition): retry with a delay
+                if attempt + 1 < self.REBIND_ATTEMPTS:
+                    self.sim.schedule(
+                        self.REBIND_RETRY_DELAY, self._rebind, exclude, attempt + 1
+                    )
+                else:
+                    self._fail_outstanding(BindingBroken("rebind lookup failed"))
+                return
+            members = [
+                m
+                for m in self.service.registry.members_of(fut.result())
+                if m != exclude
+            ]
+            if not members:
+                self._fail_outstanding(BindingBroken("no surviving members"))
+                return
+            # outstanding calls are retried (same call numbers) once rebound
+            for pending in self._pending.values():
+                if pending not in self._queued:
+                    self._queued.append(pending)
+            self._bind_to(members)
+
+        lookup.add_done_callback(on_lookup)
+
+    def _fail_outstanding(self, exc: BaseException) -> None:
+        pending_calls = list(self._pending.values()) + self._queued
+        self._pending.clear()
+        self._queued = []
+        for pending in pending_calls:
+            self.service.unregister_pending(pending.call_no)
+            if pending.timer is not None:
+                pending.timer.cancel()
+            pending.future.try_fail(exc)
+
+    # ------------------------------------------------------------------
+    # teardown
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Tear down the binding and its client/server group."""
+        if self._closed:
+            return
+        self._closed = True
+        self._fail_outstanding(BindingBroken("binding closed"))
+        if self._gc is not None:
+            self._gc.leave()
+            self._gc = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "closed" if self._closed else ("bound" if self._bound else "binding")
+        return f"<GroupBinding {self.service_name}@{self.client_id} {self.style} {state}>"

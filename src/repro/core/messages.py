@@ -1,0 +1,110 @@
+"""Invocation-layer payloads.
+
+These travel *inside* group multicasts (as DataMsg payloads) and inside
+direct ORB invocations (closed-group replies, reply sets), so they are all
+marshallable structs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from repro.orb.marshal import corba_struct
+
+__all__ = ["InvokeMsg", "ReplyMsg", "ReplySet", "StateUpdate"]
+
+
+@corba_struct
+class InvokeMsg:
+    """A client request travelling through group communication.
+
+    ``call_no`` is the client's per-binding call number; retried calls reuse
+    it so servers can suppress re-execution (§4.1).  ``forwarded`` marks a
+    request manager's re-multicast inside the server group; ``reply_group``
+    names the group replies should be multicast in for group-to-group
+    invocations (the client monitor group gz, §4.3).
+    """
+
+    __slots__ = (
+        "client", "call_no", "operation", "args", "mode",
+        "forwarded", "reply_group",
+    )
+    _fields = __slots__
+
+    def __init__(
+        self,
+        client: str,
+        call_no: int,
+        operation: str,
+        args: Tuple,
+        mode: str,
+        forwarded: bool,
+        reply_group: str,
+    ):
+        self.client = client
+        self.call_no = call_no
+        self.operation = operation
+        self.args = args
+        self.mode = mode
+        self.forwarded = forwarded
+        self.reply_group = reply_group
+
+    @property
+    def call_id(self) -> Tuple[str, int]:
+        return (self.client, self.call_no)
+
+    def __repr__(self) -> str:
+        return f"<Invoke {self.client}#{self.call_no} {self.operation} {self.mode}>"
+
+
+@corba_struct
+class ReplyMsg:
+    """One member's reply to one call."""
+
+    __slots__ = ("client", "call_no", "member", "ok", "value")
+    _fields = __slots__
+
+    def __init__(self, client: str, call_no: int, member: str, ok: bool, value: Any):
+        self.client = client
+        self.call_no = call_no
+        self.member = member
+        self.ok = ok
+        self.value = value
+
+    @property
+    def call_id(self) -> Tuple[str, int]:
+        return (self.client, self.call_no)
+
+    def __repr__(self) -> str:
+        return f"<Reply {self.client}#{self.call_no} from {self.member}>"
+
+
+@corba_struct
+class ReplySet:
+    """The request manager's gathered replies, returned to the client."""
+
+    __slots__ = ("client", "call_no", "replies")
+    _fields = __slots__
+
+    def __init__(self, client: str, call_no: int, replies: List[ReplyMsg]):
+        self.client = client
+        self.call_no = call_no
+        self.replies = list(replies)
+
+    @property
+    def call_id(self) -> Tuple[str, int]:
+        return (self.client, self.call_no)
+
+
+@corba_struct
+class StateUpdate:
+    """Passive replication: the primary's post-execution state + reply."""
+
+    __slots__ = ("client", "call_no", "state", "reply")
+    _fields = __slots__
+
+    def __init__(self, client: str, call_no: int, state: Any, reply: ReplyMsg):
+        self.client = client
+        self.call_no = call_no
+        self.state = state
+        self.reply = reply

@@ -1,0 +1,61 @@
+"""Invocation modes, binding styles, and replication policies (§2.1, §4).
+
+- **Invocation modes** — how many replies a client waits for: one way send,
+  wait for first, wait for majority, wait for all.
+- **Binding styles** — how a client reaches a server group: closed (the
+  client joins a client/server group spanning the whole server group) or
+  open (a client/server group with exactly one member, the request manager),
+  with the open style's two optimisations: restricted (every client uses the
+  group's designated manager) and asynchronous forwarding (the manager
+  answers ``wait_for_first`` itself and forwards one-way).
+- **Replication policies** — active (every member executes) or passive (the
+  primary executes; backups receive state updates).
+"""
+
+from __future__ import annotations
+
+__all__ = ["Mode", "BindingStyle", "ReplicationPolicy", "replies_needed"]
+
+
+class Mode:
+    """How many replies an invocation waits for."""
+
+    ONE_WAY = "one_way"
+    FIRST = "first"
+    MAJORITY = "majority"
+    ALL = "all"
+
+    ALL_MODES = (ONE_WAY, FIRST, MAJORITY, ALL)
+
+
+class BindingStyle:
+    """How a client binds to a server group."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+
+    ALL_STYLES = (CLOSED, OPEN)
+
+
+class ReplicationPolicy:
+    """Which members execute requests."""
+
+    ACTIVE = "active"
+    PASSIVE = "passive"
+
+    ALL_POLICIES = (ACTIVE, PASSIVE)
+
+
+def replies_needed(mode: str, group_size: int) -> int:
+    """Replies required to satisfy ``mode`` against ``group_size`` servers."""
+    if group_size <= 0:
+        raise ValueError("group_size must be positive")
+    if mode == Mode.ONE_WAY:
+        return 0
+    if mode == Mode.FIRST:
+        return 1
+    if mode == Mode.MAJORITY:
+        return group_size // 2 + 1
+    if mode == Mode.ALL:
+        return group_size
+    raise ValueError(f"unknown invocation mode {mode!r}")

@@ -1,0 +1,431 @@
+"""Server-side invocation layer: object group members and request managers.
+
+One :class:`ObjectGroupServer` runs on each member node of a replicated
+service.  It wires the application servant to group communication:
+
+- membership in the **server group** (one per service), executing forwarded
+  requests and multicasting replies within the group (§4.1 step iii);
+- membership in **client/server groups** — closed ones spanning the whole
+  server group, open ones pairing one client with this member as its
+  **request manager** (§4.1 steps i/ii/iv);
+- the **restricted group** and **asynchronous message forwarding**
+  optimisations (§4.2), passive replication with per-request state updates,
+  duplicate suppression via call numbers and a reply cache, and state
+  transfer to joining members.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.messages import InvokeMsg, ReplyMsg, ReplySet, StateUpdate
+from repro.core.modes import Mode, ReplicationPolicy, replies_needed
+from repro.core.registry import client_sink_id, server_servant_id
+from repro.groupcomm.config import GroupConfig
+from repro.orb.ior import IOR
+from repro.sim.futures import Future
+
+__all__ = ["ObjectGroupServer", "EXECUTION_OVERHEAD", "REPLY_CACHE_SIZE"]
+
+#: CPU cost of dispatching one group-delivered invocation into the servant
+#: (argument unpacking, upcall bookkeeping), on top of the servant's own
+#: declared cost.
+EXECUTION_OVERHEAD = 40e-6
+
+#: Retained (client, call_no) -> ReplySet entries for duplicate suppression.
+REPLY_CACHE_SIZE = 2048
+
+
+class _Collector:
+    """Request-manager state for one forwarded call."""
+
+    __slots__ = ("mode", "reply_group", "replies", "done")
+
+    def __init__(self, mode: str, reply_group: str):
+        self.mode = mode
+        self.reply_group = reply_group
+        self.replies: "OrderedDict[str, ReplyMsg]" = OrderedDict()
+        self.done = False
+
+
+class _InvocationServant:
+    """ORB-facing servant: what clients and peers invoke directly."""
+
+    OP_COSTS = {"join_client_group": 30e-6, "receive_state": 50e-6, "ping": 5e-6}
+
+    def __init__(self, server: "ObjectGroupServer"):
+        self._server = server
+
+    def join_client_group(self, group_name: str, contact: str, style: str) -> Future:
+        return self._server._join_client_group(group_name, contact, style)
+
+    def receive_state(self, state: Any) -> bool:
+        self._server._receive_state(state)
+        return True
+
+    def ping(self) -> bool:
+        return True
+
+
+class ObjectGroupServer:
+    """One member of a replicated object group."""
+
+    def __init__(
+        self,
+        service,
+        service_name: str,
+        servant: Any,
+        policy: str = ReplicationPolicy.ACTIVE,
+        config: Optional[GroupConfig] = None,
+        async_forwarding: bool = False,
+    ):
+        if policy not in ReplicationPolicy.ALL_POLICIES:
+            raise ValueError(f"unknown replication policy {policy!r}")
+        self.service = service
+        self.sim = service.sim
+        self.orb = service.orb
+        self.node = service.orb.node
+        self.member_id = service.orb.node.name
+        self.service_name = service_name
+        self.servant = servant
+        self.policy = policy
+        self.config = config or GroupConfig(ordering="asymmetric")
+        #: request managers answer wait_for_first locally and forward one-way
+        self.async_forwarding = async_forwarding
+
+        self.group = None  # the server group session (set by start())
+        self.ready = Future(name=f"server-ready:{service_name}@{self.member_id}")
+        self._client_groups: Dict[str, Any] = {}  # gc name -> session
+        self._client_group_styles: Dict[str, Tuple[str, str]] = {}  # gc -> (style, client)
+        self._collectors: Dict[Tuple[str, int], _Collector] = {}
+        self._g2g_seen: Dict[Tuple[str, int], bool] = {}
+        self._async_handled: Dict[Tuple[str, int], bool] = {}
+        self._reply_cache: "OrderedDict[Tuple[str, int], ReplySet]" = OrderedDict()
+        self._own_replies: Dict[Tuple[str, int], ReplyMsg] = {}
+        self._servant_ref = self.orb.register(
+            _InvocationServant(self), object_id=server_servant_id(service_name)
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def group_name(self) -> str:
+        return f"svc:{self.service_name}"
+
+    def start_as_creator(self) -> None:
+        """Create the server group (first member)."""
+        self.group = self.service.gcs.create_group(self.group_name, self.config)
+        self._wire_server_group()
+        self._advertise()
+        self.ready.try_resolve(self)
+
+    def start_as_joiner(self, contact: str) -> None:
+        """Join the existing server group via ``contact``."""
+        self.group = self.service.gcs.join_group(self.group_name, contact)
+        self._wire_server_group()
+        self.group.joined.add_done_callback(
+            lambda f: self.ready.try_fail(f.exception)
+            if f.failed
+            else self.ready.try_resolve(self)
+        )
+
+    def _wire_server_group(self) -> None:
+        self.group.on_deliver = self._on_group_deliver
+        self.group.on_view = self._on_group_view
+
+    def stop(self) -> Future:
+        """Leave the server group (graceful shutdown of this member)."""
+        for session in list(self._client_groups.values()):
+            session.leave()
+        return self.group.leave()
+
+    @property
+    def members(self) -> List[str]:
+        return self.group.members if self.group else []
+
+    @property
+    def is_primary(self) -> bool:
+        """Primary = the server group's sequencer (§4.2)."""
+        return self.group is not None and self.group.sequencer == self.member_id
+
+    # ------------------------------------------------------------------
+    # server-group membership events
+    # ------------------------------------------------------------------
+    def _on_group_view(self, view, joined: List[str], left: List[str]) -> None:
+        if view.coordinator == self.member_id:
+            self._advertise()
+            self._transfer_state_to(j for j in joined if j != self.member_id)
+        if left:
+            # recompute collector satisfaction: crashed members never reply
+            for call_id in list(self._collectors):
+                self._maybe_finish_collection(call_id)
+
+    def _advertise(self) -> None:
+        if self.service.registry is not None:
+            self.service.registry.advertise(self.service_name, self.group.members)
+
+    def _transfer_state_to(self, joiners) -> None:
+        get_state = getattr(self.servant, "get_state", None)
+        if get_state is None:
+            return
+        state = get_state()
+        for joiner in joiners:
+            target = IOR(joiner, "RootPOA", server_servant_id(self.service_name))
+            self.orb.invoke(target, "receive_state", (state,), oneway=True)
+
+    def _receive_state(self, state: Any) -> None:
+        set_state = getattr(self.servant, "set_state", None)
+        if set_state is not None:
+            set_state(state)
+
+    # ------------------------------------------------------------------
+    # client/server group management
+    # ------------------------------------------------------------------
+    def _join_client_group(self, group_name: str, contact: str, style: str) -> Future:
+        """A client asks this member to join its client/server group."""
+        if group_name in self._client_groups:
+            done = Future()
+            done.resolve(True)
+            return done
+        session = self.service.gcs.join_group(group_name, contact)
+        self._client_groups[group_name] = session
+        self._client_group_styles[group_name] = (style, contact)
+        session.on_deliver = (
+            lambda sender, payload, g=group_name: self._on_client_group_deliver(
+                g, sender, payload
+            )
+        )
+        session.on_view = (
+            lambda view, joined, left, g=group_name: self._on_client_group_view(
+                g, view, joined, left
+            )
+        )
+        done = Future(name=f"joined:{group_name}")
+        session.joined.add_done_callback(
+            lambda f: done.try_fail(f.exception) if f.failed else done.try_resolve(True)
+        )
+        return done
+
+    def _on_client_group_view(self, group_name: str, view, joined, left) -> None:
+        style, client = self._client_group_styles.get(group_name, ("", ""))
+        if client and client in left:
+            # the client is gone: the client/server group is disbanded
+            session = self._client_groups.pop(group_name, None)
+            self._client_group_styles.pop(group_name, None)
+            if session is not None:
+                session.leave()
+
+    # ------------------------------------------------------------------
+    # deliveries from client/server groups (requests from clients)
+    # ------------------------------------------------------------------
+    def _on_client_group_deliver(self, group_name: str, sender: str, payload: Any) -> None:
+        if not isinstance(payload, InvokeMsg):
+            return  # ReplySets travelling back to the client
+        style, _client = self._client_group_styles.get(group_name, ("open", sender))
+        if payload.reply_group:
+            self._handle_g2g_request(payload)
+        elif style == "closed":
+            self._handle_closed_request(payload)
+        else:
+            self._handle_open_request(group_name, payload)
+
+    # -- closed groups: every server got the request directly --------------
+    def _handle_closed_request(self, invoke: InvokeMsg) -> None:
+        executes = self.policy == ReplicationPolicy.ACTIVE or self.is_primary
+        if not executes:
+            return  # passive backup: the primary's StateUpdate will follow
+        self._execute(invoke, lambda reply: self._after_closed_execution(invoke, reply))
+
+    def _after_closed_execution(self, invoke: InvokeMsg, reply: ReplyMsg) -> None:
+        if self.policy == ReplicationPolicy.PASSIVE:
+            self._broadcast_state_update(invoke, reply)
+        if invoke.mode != Mode.ONE_WAY:
+            self._reply_directly(invoke.client, reply)
+
+    def _reply_directly(self, client: str, reply: ReplyMsg) -> None:
+        target = IOR(client, "RootPOA", client_sink_id(client))
+        self.orb.invoke(target, "deliver_reply", (reply,), oneway=True)
+
+    # -- open groups: we are this client's request manager -----------------
+    def _handle_open_request(self, group_name: str, invoke: InvokeMsg) -> None:
+        call_id = invoke.call_id
+        cached = self._reply_cache.get(call_id)
+        if cached is not None:
+            # retried call (client rebind after a manager failure): replay
+            self._send_reply_set(group_name, cached)
+            return
+        if invoke.mode == Mode.ONE_WAY:
+            self._forward(invoke, Mode.ONE_WAY)
+            return
+        if self.async_forwarding and invoke.mode == Mode.FIRST:
+            # §4.2: answer locally, forward one-way — no reply gathering.
+            # Mark the call so our own loopback of the forward is skipped.
+            self._async_handled[call_id] = True
+            while len(self._async_handled) > REPLY_CACHE_SIZE:
+                self._async_handled.pop(next(iter(self._async_handled)))
+            self._forward(invoke, Mode.ONE_WAY)
+            self._execute(
+                invoke,
+                lambda reply: self._finish_async_forwarded(group_name, invoke, reply),
+            )
+            return
+        collector = _Collector(invoke.mode, group_name)
+        self._collectors[call_id] = collector
+        self._forward(invoke, invoke.mode)
+
+    def _forward(self, invoke: InvokeMsg, mode: str) -> None:
+        """Re-issue the client's request inside the server group (§4.1 ii)."""
+        forwarded = InvokeMsg(
+            invoke.client,
+            invoke.call_no,
+            invoke.operation,
+            invoke.args,
+            mode,
+            True,
+            "",
+        )
+        self.group.send(forwarded)
+
+    def _finish_async_forwarded(
+        self, group_name: str, invoke: InvokeMsg, reply: ReplyMsg
+    ) -> None:
+        if self.policy == ReplicationPolicy.PASSIVE:
+            self._broadcast_state_update(invoke, reply)
+        reply_set = ReplySet(invoke.client, invoke.call_no, [reply])
+        self._cache_reply(reply_set)
+        self._send_reply_set(group_name, reply_set)
+
+    def _send_reply_set(self, group_name: str, reply_set: ReplySet) -> None:
+        session = self._client_groups.get(group_name)
+        if session is not None and session.state != "closed":
+            session.send(reply_set)
+
+    # -- group-to-group: filter duplicates from gx members (§4.3) ----------
+    def _handle_g2g_request(self, invoke: InvokeMsg) -> None:
+        call_id = invoke.call_id
+        if call_id in self._g2g_seen:
+            return  # already forwarded on behalf of another gx member
+        self._g2g_seen[call_id] = True
+        cached = self._reply_cache.get(call_id)
+        if cached is not None:
+            self._send_reply_set(invoke.reply_group, cached)
+            return
+        if invoke.mode == Mode.ONE_WAY:
+            self._forward(invoke, Mode.ONE_WAY)
+            return
+        collector = _Collector(invoke.mode, invoke.reply_group)
+        self._collectors[call_id] = collector
+        self._forward(invoke, invoke.mode)
+
+    # ------------------------------------------------------------------
+    # deliveries from the server group
+    # ------------------------------------------------------------------
+    def _on_group_deliver(self, sender: str, payload: Any) -> None:
+        if isinstance(payload, InvokeMsg):
+            self._handle_forwarded(payload)
+        elif isinstance(payload, ReplyMsg):
+            self._collect_reply(payload)
+        elif isinstance(payload, StateUpdate):
+            self._apply_state_update(sender, payload)
+
+    def _handle_forwarded(self, invoke: InvokeMsg) -> None:
+        call_id = invoke.call_id
+        if call_id in self._async_handled:
+            return  # we answered this locally before forwarding (§4.2)
+        if call_id in self._own_replies:
+            # duplicate (e.g. re-forwarded after a manager failure): replay
+            if invoke.mode != Mode.ONE_WAY:
+                self.group.send(self._own_replies[call_id])
+            return
+        executes = self.policy == ReplicationPolicy.ACTIVE or self.is_primary
+        if not executes:
+            return
+        self._execute(invoke, lambda reply: self._after_forwarded_execution(invoke, reply))
+
+    def _after_forwarded_execution(self, invoke: InvokeMsg, reply: ReplyMsg) -> None:
+        self._own_replies[invoke.call_id] = reply
+        self._prune_own_replies()
+        if self.policy == ReplicationPolicy.PASSIVE:
+            self._broadcast_state_update(invoke, reply)
+        if invoke.mode != Mode.ONE_WAY:
+            # §4.1 (iii): members multicast replies within the server group
+            self.group.send(reply)
+
+    def _collect_reply(self, reply: ReplyMsg) -> None:
+        collector = self._collectors.get(reply.call_id)
+        if collector is None or collector.done:
+            return
+        collector.replies[reply.member] = reply
+        self._maybe_finish_collection(reply.call_id)
+
+    def _maybe_finish_collection(self, call_id: Tuple[str, int]) -> None:
+        collector = self._collectors.get(call_id)
+        if collector is None or collector.done:
+            return
+        size = len(self.group.members) if self.group is not None else 1
+        responders = size if self.policy == ReplicationPolicy.ACTIVE else 1
+        needed = min(replies_needed(collector.mode, size), responders)
+        if len(collector.replies) < needed:
+            return
+        collector.done = True
+        del self._collectors[call_id]
+        reply_set = ReplySet(call_id[0], call_id[1], list(collector.replies.values()))
+        self._cache_reply(reply_set)
+        self._send_reply_set(collector.reply_group, reply_set)
+
+    # ------------------------------------------------------------------
+    # passive replication
+    # ------------------------------------------------------------------
+    def _broadcast_state_update(self, invoke: InvokeMsg, reply: ReplyMsg) -> None:
+        get_state = getattr(self.servant, "get_state", None)
+        state = get_state() if get_state is not None else None
+        self.group.send(StateUpdate(invoke.client, invoke.call_no, state, reply))
+
+    def _apply_state_update(self, sender: str, update: StateUpdate) -> None:
+        if sender == self.member_id:
+            return
+        set_state = getattr(self.servant, "set_state", None)
+        if set_state is not None and update.state is not None:
+            set_state(update.state)
+        self._own_replies[(update.client, update.call_no)] = update.reply
+        self._prune_own_replies()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _execute(self, invoke: InvokeMsg, done) -> None:
+        """Run the servant operation on this node's CPU, then call ``done``."""
+        cost = EXECUTION_OVERHEAD + self.orb.adapter().servant_cost(
+            self.servant, invoke.operation
+        )
+        self.node.execute(cost, self._run_servant, invoke, done)
+
+    def _run_servant(self, invoke: InvokeMsg, done) -> None:
+        method = getattr(self.servant, invoke.operation, None)
+        if method is None or invoke.operation.startswith("_"):
+            done(ReplyMsg(invoke.client, invoke.call_no, self.member_id, False,
+                          f"bad operation {invoke.operation!r}"))
+            return
+        try:
+            value = method(*invoke.args)
+        except Exception as exc:  # noqa: BLE001 - propagate to the client
+            done(ReplyMsg(invoke.client, invoke.call_no, self.member_id, False, str(exc)))
+            return
+        done(ReplyMsg(invoke.client, invoke.call_no, self.member_id, True, value))
+
+    # ------------------------------------------------------------------
+    # caches
+    # ------------------------------------------------------------------
+    def _cache_reply(self, reply_set: ReplySet) -> None:
+        self._reply_cache[reply_set.call_id] = reply_set
+        while len(self._reply_cache) > REPLY_CACHE_SIZE:
+            self._reply_cache.popitem(last=False)
+
+    def _prune_own_replies(self) -> None:
+        while len(self._own_replies) > REPLY_CACHE_SIZE:
+            self._own_replies.pop(next(iter(self._own_replies)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ObjectGroupServer {self.service_name}@{self.member_id} {self.policy}>"

@@ -1,0 +1,201 @@
+"""The NewTop service facade: one object per node.
+
+This is the library's main entry point.  It bundles the node's ORB, the
+group communication service, the service registry client, and the client
+reply sink, and exposes the high-level operations applications use:
+
+- ``serve(name, servant, ...)`` — host a member of a replicated service;
+- ``bind(name, style=..., ...)`` — bind as a client (closed or open);
+- ``bind_group_to_group(...)`` — invoke another group from a group;
+- ``create_peer_group`` / ``join_peer_group`` — peer-participation groups
+  (conferencing-style one-way multicasting, §5.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional
+
+from repro.core.client import GroupBinding
+from repro.core.group_to_group import GroupToGroupBinding
+from repro.core.messages import ReplyMsg
+from repro.core.modes import BindingStyle, ReplicationPolicy
+from repro.core.registry import ServiceRegistry, client_sink_id
+from repro.core.server import ObjectGroupServer
+from repro.errors import GroupError
+from repro.groupcomm.config import GroupConfig, Liveliness, Ordering
+from repro.groupcomm.service import GroupCommService
+from repro.groupcomm.session import GroupSession
+from repro.orb.ior import IOR
+from repro.orb.orb import ORB
+from repro.sim.futures import Future
+
+__all__ = ["NewTopService"]
+
+
+class _ClientSink:
+    """Receives closed-group replies sent point-to-point by servers."""
+
+    OP_COSTS = {"deliver_reply": 20e-6}
+
+    def __init__(self, service: "NewTopService"):
+        self._service = service
+
+    def deliver_reply(self, reply: ReplyMsg) -> None:
+        self._service._on_direct_reply(reply)
+
+
+class NewTopService:
+    """Per-node facade over the NewTop object group service."""
+
+    def __init__(self, orb: ORB, name_server: Optional[IOR] = None):
+        self.orb = orb
+        self.node = orb.node
+        self.sim = orb.sim
+        self.name = orb.node.name
+        self.gcs = GroupCommService(orb)
+        self.registry = (
+            ServiceRegistry(orb, name_server) if name_server is not None else None
+        )
+        self._call_numbers = itertools.count(1)
+        self._binding_epochs = itertools.count(1)
+        self._pending_routes: Dict[int, GroupBinding] = {}
+        self.servers: Dict[str, ObjectGroupServer] = {}
+        orb.register(_ClientSink(self), object_id=client_sink_id(self.name))
+
+    # ------------------------------------------------------------------
+    # server side
+    # ------------------------------------------------------------------
+    def serve(
+        self,
+        service_name: str,
+        servant: Any,
+        policy: str = ReplicationPolicy.ACTIVE,
+        config: Optional[GroupConfig] = None,
+        async_forwarding: bool = False,
+        create: Optional[bool] = None,
+        contact: Optional[str] = None,
+    ) -> ObjectGroupServer:
+        """Host a member of ``service_name``.
+
+        The first member creates the server group and advertises it; later
+        members discover it through the registry and join.  ``create`` and
+        ``contact`` override discovery for explicit deployments.  Await
+        ``server.ready``.
+        """
+        if service_name in self.servers:
+            raise GroupError(f"{self.name} already serves {service_name!r}")
+        server = ObjectGroupServer(
+            self,
+            service_name,
+            servant,
+            policy=policy,
+            config=config,
+            async_forwarding=async_forwarding,
+        )
+        self.servers[service_name] = server
+        if create is True or (create is None and self.registry is None):
+            server.start_as_creator()
+            return server
+        if contact is not None:
+            server.start_as_joiner(contact)
+            return server
+        lookup = self.registry.lookup(service_name)
+
+        def on_lookup(fut: Future) -> None:
+            if fut.failed:
+                server.start_as_creator()
+            else:
+                members = self.registry.members_of(fut.result())
+                server.start_as_joiner(members[0])
+
+        lookup.add_done_callback(on_lookup)
+        return server
+
+    # ------------------------------------------------------------------
+    # client side
+    # ------------------------------------------------------------------
+    def bind(
+        self,
+        service_name: str,
+        style: str = BindingStyle.OPEN,
+        ordering: str = Ordering.ASYMMETRIC,
+        liveliness: str = Liveliness.EVENT_DRIVEN,
+        restricted: bool = True,
+        manager: Optional[str] = None,
+        auto_rebind: bool = True,
+        null_delay: float = 1e-3,
+        suspicion_timeout: float = 300e-3,
+        flush_timeout: float = 150e-3,
+    ) -> GroupBinding:
+        """Bind to a replicated service.  Await ``binding.ready``."""
+        return GroupBinding(
+            self,
+            service_name,
+            style=style,
+            ordering=ordering,
+            liveliness=liveliness,
+            restricted=restricted,
+            manager=manager,
+            auto_rebind=auto_rebind,
+            null_delay=null_delay,
+            suspicion_timeout=suspicion_timeout,
+            flush_timeout=flush_timeout,
+        )
+
+    def bind_group_to_group(
+        self,
+        client_group: str,
+        client_members: List[str],
+        target_service: str,
+        manager: Optional[str] = None,
+        ordering: str = Ordering.ASYMMETRIC,
+    ) -> GroupToGroupBinding:
+        """Bind a member of ``client_group`` for group-to-group invocation."""
+        return GroupToGroupBinding(
+            self,
+            client_group,
+            client_members,
+            target_service,
+            manager=manager,
+            ordering=ordering,
+        )
+
+    # ------------------------------------------------------------------
+    # peer participation
+    # ------------------------------------------------------------------
+    def create_peer_group(
+        self, group: str, config: Optional[GroupConfig] = None
+    ) -> GroupSession:
+        """Create a peer group (lively by default, per §3)."""
+        return self.gcs.create_group(
+            group, config or GroupConfig(liveliness=Liveliness.LIVELY)
+        )
+
+    def join_peer_group(self, group: str, contact: str) -> GroupSession:
+        return self.gcs.join_group(group, contact)
+
+    # ------------------------------------------------------------------
+    # plumbing shared by bindings
+    # ------------------------------------------------------------------
+    def next_call_no(self) -> int:
+        return next(self._call_numbers)
+
+    def next_binding_epoch(self) -> int:
+        """Node-unique epoch for client/server group names (no collisions
+        between successive bindings to the same service)."""
+        return next(self._binding_epochs)
+
+    def register_pending(self, call_no: int, binding: GroupBinding) -> None:
+        self._pending_routes[call_no] = binding
+
+    def unregister_pending(self, call_no: int) -> None:
+        self._pending_routes.pop(call_no, None)
+
+    def _on_direct_reply(self, reply: ReplyMsg) -> None:
+        binding = self._pending_routes.get(reply.call_no)
+        if binding is not None:
+            binding.on_direct_reply(reply)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<NewTopService {self.name}>"

@@ -1,0 +1,60 @@
+"""Shared exception hierarchy for the NewTop reproduction."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "CommFailure",
+    "ObjectNotFound",
+    "BadOperation",
+    "ApplicationError",
+    "GroupError",
+    "NotMember",
+    "BindingBroken",
+    "NoQuorum",
+    "InvocationAborted",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class CommFailure(ReproError):
+    """Invocation could not reach the target, or the reply never arrived.
+
+    The CORBA analogue is ``COMM_FAILURE``; raised on crashed/unreachable
+    targets and on client-side invocation timeouts.
+    """
+
+
+class ObjectNotFound(ReproError):
+    """The object key in a request does not name an active servant."""
+
+
+class BadOperation(ReproError):
+    """The servant has no such operation."""
+
+
+class ApplicationError(ReproError):
+    """A servant raised; the exception message is propagated to the caller."""
+
+
+class GroupError(ReproError):
+    """Base class for group-communication failures."""
+
+
+class NotMember(GroupError):
+    """Operation requires group membership the caller does not hold."""
+
+
+class BindingBroken(GroupError):
+    """An open-group binding lost its request manager (view change)."""
+
+
+class NoQuorum(GroupError):
+    """A wait-for-majority invocation cannot reach a majority."""
+
+
+class InvocationAborted(GroupError):
+    """A pending group invocation was abandoned (e.g. group disbanded)."""

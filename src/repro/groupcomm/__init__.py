@@ -1,0 +1,25 @@
+"""NewTop group communication: virtually-synchronous membership plus
+reliable, causal, and totally-ordered multicast with symmetric and
+asymmetric ordering protocols and overlapping-group support.
+"""
+
+from repro.groupcomm.config import GroupConfig, Liveliness, Ordering
+from repro.groupcomm.lamport import LamportClock
+from repro.groupcomm.service import GroupCommService, NSO_OBJECT_ID, PROTOCOL_COST
+from repro.groupcomm.session import DELIVER_COST, GroupSession
+from repro.groupcomm.vectorclock import VectorClock
+from repro.groupcomm.views import GroupView
+
+__all__ = [
+    "GroupCommService",
+    "GroupSession",
+    "GroupView",
+    "GroupConfig",
+    "Ordering",
+    "Liveliness",
+    "LamportClock",
+    "VectorClock",
+    "PROTOCOL_COST",
+    "DELIVER_COST",
+    "NSO_OBJECT_ID",
+]

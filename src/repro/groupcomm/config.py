@@ -1,0 +1,100 @@
+"""Group configuration: ordering protocol, liveliness, and timers.
+
+The paper's flexibility claim rests on these knobs: a group can be created
+with either total-order protocol (symmetric/asymmetric), weaker orders for
+cheaper delivery (causal/FIFO), and either liveliness regime (lively vs
+event-driven time-silence), per §3.
+"""
+
+from __future__ import annotations
+
+from repro.orb.marshal import corba_struct
+
+__all__ = ["Ordering", "Liveliness", "GroupConfig"]
+
+
+class Ordering:
+    """Delivery-order guarantees (strongest to weakest)."""
+
+    SYMMETRIC = "symmetric"  # total order via shared logical clocks
+    ASYMMETRIC = "asymmetric"  # total order via a sequencer
+    CAUSAL = "causal"  # causal order via vector clocks
+    FIFO = "fifo"  # per-sender FIFO only
+
+    ALL = (SYMMETRIC, ASYMMETRIC, CAUSAL, FIFO)
+    TOTAL = (SYMMETRIC, ASYMMETRIC)
+
+
+class Liveliness:
+    """When the time-silence mechanism and failure suspector are armed."""
+
+    LIVELY = "lively"  # always on, from group creation
+    EVENT_DRIVEN = "event"  # only while messages are outstanding
+
+    ALL = (LIVELY, EVENT_DRIVEN)
+
+
+@corba_struct
+class GroupConfig:
+    """Per-group protocol parameters.
+
+    ``null_delay`` is how long a member waits after receiving a message
+    before emitting a NULL (time-silence) message when it has nothing of its
+    own to send — this is what lets symmetric ordering progress.
+    ``silence_period`` is the lively-mode heartbeat period, and
+    ``suspicion_timeout`` how long a silent member is tolerated before the
+    failure suspector triggers membership agreement.
+    """
+
+    __slots__ = (
+        "ordering",
+        "liveliness",
+        "null_delay",
+        "ack_delay",
+        "silence_period",
+        "suspicion_timeout",
+        "flush_timeout",
+        "sequencer_hint",
+        "send_window",
+    )
+    _fields = __slots__
+
+    def __init__(
+        self,
+        ordering: str = Ordering.SYMMETRIC,
+        liveliness: str = Liveliness.EVENT_DRIVEN,
+        null_delay: float = 1e-3,
+        ack_delay: float = 10e-3,
+        silence_period: float = 50e-3,
+        suspicion_timeout: float = 300e-3,
+        flush_timeout: float = 150e-3,
+        sequencer_hint: str = "",
+        send_window: int = 64,
+    ):
+        if ordering not in Ordering.ALL:
+            raise ValueError(f"unknown ordering {ordering!r}")
+        if liveliness not in Liveliness.ALL:
+            raise ValueError(f"unknown liveliness {liveliness!r}")
+        self.ordering = ordering
+        self.liveliness = liveliness
+        self.null_delay = null_delay
+        #: how long a pure stability acknowledgement may be batched before a
+        #: NULL is emitted for it (longer = fewer NULLs under load)
+        self.ack_delay = ack_delay
+        self.silence_period = silence_period
+        self.suspicion_timeout = suspicion_timeout
+        self.flush_timeout = flush_timeout
+        #: preferred sequencer member for asymmetric groups; lets the
+        #: invocation layer pin sequencer = request manager = primary (§4.2)
+        self.sequencer_hint = sequencer_hint
+        if send_window < 1:
+            raise ValueError("send_window must be at least 1")
+        #: flow control: max own unstable data messages before sends queue
+        self.send_window = send_window
+
+    @property
+    def is_total(self) -> bool:
+        return self.ordering in Ordering.TOTAL
+
+    def __repr__(self) -> str:
+        return f"GroupConfig({self.ordering}, {self.liveliness})"

@@ -1,0 +1,111 @@
+"""Time-silence and failure suspicion (§3).
+
+One detector per group session.  It periodically:
+
+- sends a NULL ("I am alive") message if the member has been silent for the
+  group's ``silence_period``; and
+- suspects members not heard from within ``suspicion_timeout``.
+
+In a **lively** group both mechanisms run for the group's lifetime.  In an
+**event-driven** group they are armed only while application messages are
+outstanding in the group — when the group quiesces, the timers idle and the
+baselines are refreshed so that re-arming cannot produce instant false
+suspicion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.groupcomm.config import Liveliness
+
+__all__ = ["FailureDetector"]
+
+
+class FailureDetector:
+    """Per-session liveness timers."""
+
+    def __init__(self, session):
+        self.session = session
+        self.sim = session.sim
+        self.last_recv: Dict[str, float] = {}
+        self.last_sent = 0.0
+        self.suspected: Set[str] = set()
+        self._timer = None
+        self._stopped = False
+        config = session.config
+        self.period = min(config.silence_period, config.suspicion_timeout / 3.0)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        now = self.sim.now
+        self.last_sent = now
+        for member in self.session.view.members:
+            self.last_recv.setdefault(member, now)
+        if self._timer is None and not self._stopped:
+            self._timer = self.sim.schedule(self.period, self._tick)
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def on_view_change(self) -> None:
+        now = self.sim.now
+        self.suspected.clear()
+        self.last_recv = {m: now for m in self.session.view.members}
+        self.last_sent = now
+
+    # ------------------------------------------------------------------
+    # observations
+    # ------------------------------------------------------------------
+    def heard_from(self, member: str) -> None:
+        self.last_recv[member] = self.sim.now
+
+    def sent_something(self) -> None:
+        self.last_sent = self.sim.now
+
+    def is_suspected(self, member: str) -> bool:
+        return member in self.suspected
+
+    # ------------------------------------------------------------------
+    # the periodic tick
+    # ------------------------------------------------------------------
+    def _armed(self) -> bool:
+        if self.session.config.liveliness == Liveliness.LIVELY:
+            return True
+        return self.session.has_outstanding()
+
+    def _tick(self) -> None:
+        self._timer = None
+        if self._stopped or self.session.view is None:
+            return
+        if not self.session.service.node.alive:
+            return  # crash-stop: a dead member's timers die with it
+        now = self.sim.now
+        config = self.session.config
+        if not self._armed():
+            # quiesced event-driven group: refresh baselines so arming later
+            # does not instantly suspect everyone
+            self.last_sent = now
+            for member in self.session.view.members:
+                self.last_recv[member] = now
+        else:
+            if now - self.last_sent >= config.silence_period:
+                self.session.send_null()
+            # gather all suspicions first so a single flush covers them
+            newly_suspected = []
+            for member in self.session.view.members:
+                if member == self.session.member_id or member in self.suspected:
+                    continue
+                heard = self.last_recv.get(member, now)
+                if now - heard > config.suspicion_timeout:
+                    self.suspected.add(member)
+                    newly_suspected.append(member)
+            for member in newly_suspected:
+                self.session.membership.on_local_suspicion(member)
+        if not self._stopped:
+            self._timer = self.sim.schedule(self.period, self._tick)

@@ -1,0 +1,84 @@
+"""Sender-side flow control for group sessions.
+
+A member that multicasts faster than the group can acknowledge would grow
+its unstable buffer (and every receiver's pending queues) without bound.
+NewTop-era group systems bound this with a sender window; we do the same:
+a session may have at most ``window`` of its own data messages unstable
+(sent but not yet known received by every member).  Further sends queue
+locally and drain as stability acknowledgements arrive.
+
+The window also gives benchmarks their pipelining semantics: peer members
+"multicasting as frequently as possible" are in fact window-limited, which
+is what keeps the LAN flood experiments (§5.2) stable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+__all__ = ["FlowController", "DEFAULT_WINDOW"]
+
+#: Default maximum number of own unstable data messages per group.
+DEFAULT_WINDOW = 64
+
+
+class FlowController:
+    """Bounds a session's own outstanding (unstable) data messages."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW):
+        if window < 1:
+            raise ValueError("flow-control window must be at least 1")
+        self.window = window
+        self._in_flight = 0
+        self._queue: Deque[Any] = deque()
+        self.sends_delayed = 0
+
+    # ------------------------------------------------------------------
+    # send path
+    # ------------------------------------------------------------------
+    def try_acquire(self, payload: Any) -> bool:
+        """Claim a window slot for ``payload``.
+
+        Returns True if the send may proceed now; otherwise the payload is
+        queued and will be released to ``drain`` later.
+        """
+        if self._in_flight < self.window:
+            self._in_flight += 1
+            return True
+        self._queue.append(payload)
+        self.sends_delayed += 1
+        return False
+
+    def release(self, count: int = 1) -> None:
+        """Report ``count`` of our messages as stable (acknowledged by all)."""
+        self._in_flight = max(0, self._in_flight - count)
+
+    def drain(self) -> Optional[Any]:
+        """Pop one queued payload if a window slot is free, claiming it."""
+        if self._queue and self._in_flight < self.window:
+            self._in_flight += 1
+            return self._queue.popleft()
+        return None
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def reset(self) -> None:
+        """View change: outstanding accounting restarts with the new view."""
+        self._in_flight = 0
+        # queued sends are re-queued by the session itself
+
+    def pop_all_queued(self):
+        """Hand back everything still queued (for view-change replay)."""
+        items = list(self._queue)
+        self._queue.clear()
+        return items

@@ -1,0 +1,43 @@
+"""Lamport logical clocks.
+
+Each NewTop service object owns **one** Lamport clock shared by all the
+groups its client belongs to.  This is what makes total order mutually
+consistent for multi-group members (§2.1) and preserves causality between
+related client requests issued through different client/server groups
+(§4.4, fig. 7).
+"""
+
+from __future__ import annotations
+
+__all__ = ["LamportClock"]
+
+
+class LamportClock:
+    """A strictly-increasing logical clock."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, start: int = 0):
+        self._value = start
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def tick(self) -> int:
+        """Advance for a local/send event; returns the new timestamp."""
+        self._value += 1
+        return self._value
+
+    def observe(self, remote_ts: int) -> int:
+        """Merge a received timestamp (receive event); returns clock value.
+
+        The clock jumps past the remote timestamp so that any later send
+        is ordered after the observed event.
+        """
+        if remote_ts > self._value:
+            self._value = remote_ts
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"LamportClock({self._value})"

@@ -1,0 +1,109 @@
+"""Cross-group delivery mergers.
+
+One NewTop service object may host many group sessions; the paper requires
+total order to remain mutually consistent for multi-group members (§2.1) and
+causality to hold between related requests issued through different
+client/server groups (§4.4).  Two mergers provide this:
+
+- :class:`SharedClockMerger` — for symmetric sessions: messages cleared by
+  per-group ordering are released to the application in global
+  (timestamp, sender) order.  A session gates other sessions' deliveries
+  only while it actually has pending messages (an idle event-driven group
+  cannot stall unrelated groups; see DESIGN.md §5 for the approximation).
+
+- :class:`TicketMerger` — for asymmetric sessions: per sequencer, ticketed
+  messages are released in ticket-arrival order, which the FIFO channel from
+  the sequencer guarantees to be increasing ticket order.  Members that
+  share several groups under one sequencer therefore deliver the union in
+  one consistent global order (what closed-group active replication needs).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Deque, Dict, List, Set, Tuple
+
+from repro.groupcomm.messages import DataMsg
+
+__all__ = ["SharedClockMerger", "TicketMerger"]
+
+
+class SharedClockMerger:
+    """Orders cleared symmetric messages across sessions of one NSO."""
+
+    def __init__(self):
+        self._sessions: Set[Any] = set()
+        self._heap: List[Tuple[Tuple[int, str], int, Any, DataMsg]] = []
+        self._tie = itertools.count()
+
+    def register(self, session) -> None:
+        self._sessions.add(session)
+
+    def unregister(self, session) -> None:
+        self._sessions.discard(session)
+        if any(entry[2] is session for entry in self._heap):
+            self._heap = [e for e in self._heap if e[2] is not session]
+            heapq.heapify(self._heap)
+
+    def push(self, session, msg: DataMsg, key: Tuple[int, str]) -> None:
+        heapq.heappush(self._heap, (key, next(self._tie), session, msg))
+
+    def drain(self) -> None:
+        """Release every head message not gated by another session."""
+        while self._heap:
+            key, _tie, session, msg = self._heap[0]
+            if self._gated(session, key):
+                return
+            heapq.heappop(self._heap)
+            session._deliver_app(msg)
+
+    def _gated(self, owner, key: Tuple[int, str]) -> bool:
+        for session in self._sessions:
+            if session is owner:
+                continue
+            ordering = session.ordering
+            # only sessions with pending undelivered messages can still
+            # produce a smaller-keyed delivery
+            if ordering.pending_count() == 0:
+                continue
+            if ordering.frontier_key() <= key:
+                return True
+        return False
+
+    def queued_count(self) -> int:
+        return len(self._heap)
+
+
+class TicketMerger:
+    """Orders ticketed (asymmetric) messages across sessions per sequencer."""
+
+    def __init__(self):
+        #: sequencer member id -> FIFO of (ticket, session, (sender, gseq))
+        self._queues: Dict[str, Deque[Tuple[int, Any, Tuple[str, int]]]] = {}
+
+    def enqueue(self, sequencer: str, session, ticket: int, key: Tuple[str, int]) -> None:
+        queue = self._queues.setdefault(sequencer, deque())
+        queue.append((ticket, session, key))
+
+    def drain(self) -> None:
+        """Deliver each queue's head while its data message has arrived."""
+        for queue in self._queues.values():
+            while queue:
+                _ticket, session, key = queue[0]
+                msg = session.ordering.take_if_arrived(key)
+                if msg is None:
+                    break
+                queue.popleft()
+                session._deliver_app(msg)
+
+    def purge(self, session) -> None:
+        """Drop a session's entries (on view change or close)."""
+        for sequencer, queue in self._queues.items():
+            self._queues[sequencer] = deque(
+                entry for entry in queue if entry[1] is not session
+            )
+
+    def queued_count(self) -> int:
+        return sum(len(q) for q in self._queues.values())

@@ -1,0 +1,286 @@
+"""Wire messages of the NewTop group communication protocols.
+
+Three message families share the NSO-to-NSO channels:
+
+- channel layer: ``ChanData`` / ``ChanAck`` / ``ChanNack`` (reliable FIFO);
+- ordering layer: ``DataMsg`` (application data and NULL time-silence
+  messages) and ``TicketMsg`` (asymmetric ordering tickets);
+- membership layer: ``JoinReq`` / ``LeaveReq`` / ``SuspectMsg`` /
+  ``FlushReq`` / ``FlushOk`` / ``ViewInstall``.
+
+All are marshallable structs; everything that crosses a node boundary is
+encoded to bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.groupcomm.config import GroupConfig
+from repro.groupcomm.views import GroupView
+from repro.orb.marshal import corba_struct
+
+__all__ = [
+    "DataMsg",
+    "TicketMsg",
+    "JoinReq",
+    "LeaveReq",
+    "SuspectMsg",
+    "FlushReq",
+    "FlushOk",
+    "ViewInstall",
+    "ChanData",
+    "ChanAck",
+    "ChanNack",
+    "ChanReset",
+    "KIND_DATA",
+    "KIND_NULL",
+]
+
+KIND_DATA = "data"
+KIND_NULL = "null"
+
+
+@corba_struct
+class DataMsg:
+    """An application multicast (kind=data) or time-silence NULL (kind=null).
+
+    - ``gseq``: per-sender, per-view sequence (0 for NULLs); identifies the
+      message for stability tracking and flush recovery.
+    - ``ts``: Lamport timestamp from the sender's shared NSO clock.
+    - ``ticket``: embedded ordering ticket when the sender is itself the
+      sequencer (the self-sequencing fast path of §4.2).
+    - ``vector``: vector-clock stamp for causal-order groups, else None.
+    - ``acks``: piggybacked stability info: sender's max contiguous gseq
+      received per member.
+    """
+
+    __slots__ = (
+        "group", "sender", "view_id", "gseq", "ts",
+        "kind", "payload", "ticket", "vector", "acks",
+    )
+    _fields = __slots__
+
+    def __init__(
+        self,
+        group: str,
+        sender: str,
+        view_id: int,
+        gseq: int,
+        ts: int,
+        kind: str,
+        payload: Any,
+        ticket: Optional[int],
+        vector: Optional[Dict[str, int]],
+        acks: Dict[str, int],
+    ):
+        self.group = group
+        self.sender = sender
+        self.view_id = view_id
+        self.gseq = gseq
+        self.ts = ts
+        self.kind = kind
+        self.payload = payload
+        self.ticket = ticket
+        self.vector = vector
+        self.acks = acks
+
+    @property
+    def msg_id(self) -> Tuple[int, str, int]:
+        return (self.view_id, self.sender, self.gseq)
+
+    @property
+    def is_null(self) -> bool:
+        return self.kind == KIND_NULL
+
+    def __repr__(self) -> str:
+        extra = f" tkt={self.ticket}" if self.ticket is not None else ""
+        return f"<{self.kind} {self.group}/{self.sender}#{self.gseq} ts={self.ts}{extra}>"
+
+
+@corba_struct
+class TicketMsg:
+    """Asymmetric ordering ticket: ``target`` message gets global ``ticket``."""
+
+    __slots__ = ("group", "sender", "view_id", "ticket", "target_sender", "target_gseq")
+    _fields = __slots__
+
+    def __init__(
+        self,
+        group: str,
+        sender: str,
+        view_id: int,
+        ticket: int,
+        target_sender: str,
+        target_gseq: int,
+    ):
+        self.group = group
+        self.sender = sender
+        self.view_id = view_id
+        self.ticket = ticket
+        self.target_sender = target_sender
+        self.target_gseq = target_gseq
+
+    def __repr__(self) -> str:
+        return (
+            f"<ticket {self.ticket} -> {self.group}/{self.target_sender}"
+            f"#{self.target_gseq}>"
+        )
+
+
+@corba_struct
+class JoinReq:
+    """Request to join ``group``; routed to the coordinator."""
+
+    __slots__ = ("group", "member")
+    _fields = __slots__
+
+    def __init__(self, group: str, member: str):
+        self.group = group
+        self.member = member
+
+
+@corba_struct
+class LeaveReq:
+    """Voluntary departure from ``group``; routed to the coordinator."""
+
+    __slots__ = ("group", "member")
+    _fields = __slots__
+
+    def __init__(self, group: str, member: str):
+        self.group = group
+        self.member = member
+
+
+@corba_struct
+class SuspectMsg:
+    """Failure suspicion report, sent to the (believed) coordinator."""
+
+    __slots__ = ("group", "reporter", "suspect")
+    _fields = __slots__
+
+    def __init__(self, group: str, reporter: str, suspect: str):
+        self.group = group
+        self.reporter = reporter
+        self.suspect = suspect
+
+
+@corba_struct
+class FlushReq:
+    """Coordinator starts membership agreement over ``proposed`` members."""
+
+    __slots__ = ("group", "view_id", "attempt", "coordinator", "proposed")
+    _fields = __slots__
+
+    def __init__(
+        self, group: str, view_id: int, attempt: int, coordinator: str, proposed: List[str]
+    ):
+        self.group = group
+        self.view_id = view_id
+        self.attempt = attempt
+        self.coordinator = coordinator
+        self.proposed = list(proposed)
+
+
+@corba_struct
+class FlushOk:
+    """A member's flush contribution: its unstable messages and tickets.
+
+    ``frontier`` is the member's delivery frontier in the old view, in the
+    ordering protocol's own coordinates ((ts, sender) for symmetric, last
+    delivered ticket for asymmetric); the coordinator redistributes the union
+    so every survivor can deliver exactly the same closed set.
+    """
+
+    __slots__ = ("group", "view_id", "attempt", "sender", "unstable", "tickets", "frontier")
+    _fields = __slots__
+
+    def __init__(
+        self,
+        group: str,
+        view_id: int,
+        attempt: int,
+        sender: str,
+        unstable: List[DataMsg],
+        tickets: List[Tuple[int, str, int]],
+        frontier: Any,
+    ):
+        self.group = group
+        self.view_id = view_id
+        self.attempt = attempt
+        self.sender = sender
+        self.unstable = list(unstable)
+        self.tickets = list(tickets)
+        self.frontier = frontier
+
+
+@corba_struct
+class ViewInstall:
+    """Coordinator's final word: the new view plus the closing message set."""
+
+    __slots__ = ("group", "view", "attempt", "config", "unstable", "tickets")
+    _fields = __slots__
+
+    def __init__(
+        self,
+        group: str,
+        view: GroupView,
+        attempt: int,
+        config: GroupConfig,
+        unstable: List[DataMsg],
+        tickets: List[Tuple[int, str, int]],
+    ):
+        self.group = group
+        self.view = view
+        self.attempt = attempt
+        self.config = config
+        self.unstable = list(unstable)
+        self.tickets = list(tickets)
+
+
+@corba_struct
+class ChanData:
+    """Reliable-channel frame: sequenced carrier for one protocol message."""
+
+    __slots__ = ("seq", "inner")
+    _fields = __slots__
+
+    def __init__(self, seq: int, inner: Any):
+        self.seq = seq
+        self.inner = inner
+
+
+@corba_struct
+class ChanAck:
+    """Cumulative acknowledgement up to ``cum_seq``."""
+
+    __slots__ = ("cum_seq",)
+    _fields = __slots__
+
+    def __init__(self, cum_seq: int):
+        self.cum_seq = cum_seq
+
+
+@corba_struct
+class ChanNack:
+    """Retransmission request for frames ``from_seq``..``to_seq`` inclusive."""
+
+    __slots__ = ("from_seq", "to_seq")
+    _fields = __slots__
+
+    def __init__(self, from_seq: int, to_seq: int):
+        self.from_seq = from_seq
+        self.to_seq = to_seq
+
+
+@corba_struct
+class ChanReset:
+    """Sender's answer to a NACK for frames it no longer holds: the receiver
+    should advance its expectation to ``skip_to`` (frames below it are gone
+    for good — e.g. dropped while a partition isolated the peer)."""
+
+    __slots__ = ("skip_to",)
+    _fields = __slots__
+
+    def __init__(self, skip_to: int):
+        self.skip_to = skip_to

@@ -1,0 +1,432 @@
+"""Delivery-order protocols: symmetric, asymmetric, causal, FIFO.
+
+The two total-order protocols are the ones the paper evaluates against each
+other (§2, §5):
+
+- **Symmetric** — deterministic ordering by (Lamport timestamp, sender id).
+  A data message is deliverable once a message (data or NULL) with an equal
+  or greater timestamp has been received from every other member, so ordering
+  work is spread across the group, at the price of time-silence NULL traffic
+  from otherwise-idle members.
+
+- **Asymmetric** — a sequencer (the first member of the view, overridable
+  via the config's sequencer hint) assigns globally increasing tickets.
+  The sequencer's own multicasts carry their ticket embedded — the
+  self-sequencing fast path that makes the request-manager-is-sequencer
+  configuration of §4.2 cheap.  Other members' messages pay the ordering
+  redirection: data to the group, ticket back from the sequencer.
+
+Both rely on the channel layer's per-pair FIFO: timestamps from one sender
+arrive monotonically, and tickets from one sequencer arrive in increasing
+global order (which is what makes cross-group order consistent for members
+of several groups sharing a sequencer).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.groupcomm.messages import DataMsg, TicketMsg
+from repro.groupcomm.vectorclock import VectorClock
+
+__all__ = [
+    "OrderingStrategy",
+    "SymmetricOrder",
+    "AsymmetricOrder",
+    "CausalOrder",
+    "FifoOrder",
+    "make_ordering",
+    "INFINITY_KEY",
+]
+
+#: A key greater than any real (timestamp, sender) delivery key.
+INFINITY_KEY = (float("inf"), "￿")
+
+
+class OrderingStrategy:
+    """Per-session ordering engine.
+
+    The session feeds it FIFO-ordered events (own sends, remote data,
+    tickets); the strategy decides when messages clear group-level ordering
+    and hands them back via ``session._cleared(msg)`` (symmetric routes
+    through the shared-clock merger; others deliver directly).
+    """
+
+    name = "base"
+    needs_nulls = False
+
+    def __init__(self, session):
+        self.session = session
+
+    # -- event intake ---------------------------------------------------
+    def on_local_send(self, msg: DataMsg) -> None:
+        raise NotImplementedError
+
+    def on_data(self, msg: DataMsg) -> None:
+        raise NotImplementedError
+
+    def on_ticket(self, ticket: TicketMsg) -> None:
+        pass  # only meaningful for asymmetric ordering
+
+    # -- state queries ----------------------------------------------------
+    def pending_count(self) -> int:
+        raise NotImplementedError
+
+    def has_work(self) -> bool:
+        return self.pending_count() > 0
+
+    # -- flush support ----------------------------------------------------
+    def frontier(self) -> Any:
+        """Opaque delivery-frontier token for FlushOk."""
+        raise NotImplementedError
+
+    def finalize(
+        self, union_msgs: List[DataMsg], union_tickets: List[Tuple[int, str, int]]
+    ) -> List[DataMsg]:
+        """Messages still to deliver before the view change, in final order.
+
+        ``union_msgs`` is the coordinator's closed set (deduplicated union of
+        all members' unstable buffers); the strategy must combine it with its
+        own pending state and return exactly the messages *this* member has
+        not delivered, ordered so that every member extends the same global
+        sequence.
+        """
+        raise NotImplementedError
+
+    def reset(self, members: List[str]) -> None:
+        """Adopt the new view's membership; ordering state starts fresh."""
+        raise NotImplementedError
+
+
+class SymmetricOrder(OrderingStrategy):
+    """Total order by (Lamport timestamp, sender id)."""
+
+    name = "symmetric"
+    needs_nulls = True
+
+    def __init__(self, session):
+        super().__init__(session)
+        self.latest_ts: Dict[str, int] = {}
+        self._pending: List[Tuple[int, str, DataMsg]] = []  # heap
+        self._last_delivered_key: Tuple[Any, str] = (0, "")
+        self.reset(list(session.view.members) if session.view else [])
+
+    # -- intake ---------------------------------------------------------
+    def on_local_send(self, msg: DataMsg) -> None:
+        self.latest_ts[msg.sender] = msg.ts
+        if not msg.is_null:
+            heapq.heappush(self._pending, (msg.ts, msg.sender, msg))
+        self._drain()
+
+    def on_data(self, msg: DataMsg) -> None:
+        if msg.ts > self.latest_ts.get(msg.sender, 0):
+            self.latest_ts[msg.sender] = msg.ts
+        if not msg.is_null:
+            heapq.heappush(self._pending, (msg.ts, msg.sender, msg))
+        self._drain()
+
+    # -- delivery -------------------------------------------------------
+    def _deliverable(self, ts: int, sender: str) -> bool:
+        """Classical Lamport-order rule: a message is deliverable once a
+        timestamp ≥ its own has been received from every other member, and a
+        strictly *later* one from its sender (the sender's own stamp does
+        not count — its next message, typically a NULL, confirms no earlier
+        send is in flight).  This is the timestamp-exchange traffic the
+        paper attributes to the symmetric protocol (§2, §5.1.3)."""
+        me = self.session.member_id
+        for member in self.session.view.members:
+            if member == me:
+                continue
+            have = self.latest_ts.get(member, 0)
+            if member == sender:
+                if have <= ts:
+                    return False
+            elif have < ts:
+                return False
+        return True
+
+    def _drain(self) -> None:
+        while self._pending:
+            ts, sender, msg = self._pending[0]
+            if not self._deliverable(ts, sender):
+                return
+            heapq.heappop(self._pending)
+            self._last_delivered_key = (ts, sender)
+            self.session._cleared(msg, key=(ts, sender))
+
+    def advance(self) -> None:
+        """Re-evaluate deliverability (e.g. after a view of latest_ts changed)."""
+        self._drain()
+
+    # -- merger support ---------------------------------------------------
+    def frontier_key(self) -> Tuple[Any, str]:
+        """Lower bound on the key of any message this session may yet clear."""
+        me = self.session.member_id
+        candidates = [INFINITY_KEY]
+        if self._pending:
+            ts, sender, _msg = self._pending[0]
+            candidates.append((ts, sender))
+        for member in self.session.view.members:
+            if member == me:
+                continue
+            candidates.append((self.latest_ts.get(member, 0) + 1, ""))
+        return min(candidates)
+
+    # -- queries ----------------------------------------------------------
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    # -- flush ------------------------------------------------------------
+    def frontier(self) -> Any:
+        ts, sender = self._last_delivered_key
+        return (ts, sender)
+
+    def finalize(self, union_msgs, union_tickets) -> List[DataMsg]:
+        seen = {}
+        for _ts, _sender, msg in self._pending:
+            seen[msg.msg_id] = msg
+        for msg in union_msgs:
+            if not msg.is_null:
+                seen.setdefault(msg.msg_id, msg)
+        frontier = tuple(self._last_delivered_key)
+        remaining = [
+            msg for msg in seen.values() if (msg.ts, msg.sender) > frontier
+        ]
+        remaining.sort(key=lambda m: (m.ts, m.sender, m.gseq))
+        return remaining
+
+    def reset(self, members: List[str]) -> None:
+        self.latest_ts = {m: 0 for m in members}
+        self._pending = []
+        self._last_delivered_key = (0, "")
+
+
+class AsymmetricOrder(OrderingStrategy):
+    """Sequencer-based total order with globally increasing tickets."""
+
+    name = "asymmetric"
+    needs_nulls = False
+
+    def __init__(self, session):
+        super().__init__(session)
+        #: data messages awaiting delivery, by (sender, gseq)
+        self.arrived: Dict[Tuple[str, int], DataMsg] = {}
+        #: tickets already known, by (sender, gseq) -> ticket value
+        self.known_tickets: Dict[Tuple[str, int], int] = {}
+        self.last_delivered_ticket = -1
+
+    @property
+    def sequencer(self) -> str:
+        return self.session.sequencer
+
+    # -- intake ---------------------------------------------------------
+    def on_local_send(self, msg: DataMsg) -> None:
+        if msg.is_null:
+            return
+        key = (msg.sender, msg.gseq)
+        self.arrived[key] = msg
+        if msg.ticket is not None:
+            # self-sequenced: we are the sequencer
+            self.known_tickets[key] = msg.ticket
+            self.session._enqueue_ticket(msg.ticket, key)
+        # non-sequencer senders wait for the sequencer's ticket
+
+    def on_data(self, msg: DataMsg) -> None:
+        if msg.is_null:
+            return
+        key = (msg.sender, msg.gseq)
+        self.arrived[key] = msg
+        if msg.ticket is not None:
+            self.known_tickets[key] = msg.ticket
+            self.session._enqueue_ticket(msg.ticket, key)
+        elif self.session.member_id == self.sequencer:
+            # we are the sequencer: assign and announce a ticket
+            ticket = self.session.service.next_ticket()
+            self.known_tickets[key] = ticket
+            self.session._announce_ticket(ticket, key)
+            self.session._enqueue_ticket(ticket, key)
+        self.session._drain_tickets()
+
+    def on_ticket(self, ticket: TicketMsg) -> None:
+        key = (ticket.target_sender, ticket.target_gseq)
+        self.known_tickets[key] = ticket.ticket
+        self.session._enqueue_ticket(ticket.ticket, key)
+        self.session._drain_tickets()
+
+    # -- delivery (driven by the ticket merger) ---------------------------
+    def take_if_arrived(self, key: Tuple[str, int]) -> Optional[DataMsg]:
+        msg = self.arrived.pop(key, None)
+        if msg is not None:
+            self.last_delivered_ticket = self.known_tickets.get(
+                key, self.last_delivered_ticket
+            )
+        return msg
+
+    # -- queries ----------------------------------------------------------
+    def pending_count(self) -> int:
+        return len(self.arrived)
+
+    # -- flush ------------------------------------------------------------
+    def frontier(self) -> Any:
+        return self.last_delivered_ticket
+
+    def finalize(self, union_msgs, union_tickets) -> List[DataMsg]:
+        messages: Dict[Tuple[str, int], DataMsg] = {}
+        for msg in union_msgs:
+            if not msg.is_null:
+                messages.setdefault((msg.sender, msg.gseq), msg)
+        for key, msg in self.arrived.items():
+            messages.setdefault(key, msg)
+        tickets = dict(self.known_tickets)
+        for value, sender, gseq in union_tickets:
+            tickets.setdefault((sender, gseq), value)
+        for key, msg in messages.items():
+            if msg.ticket is not None:
+                tickets.setdefault(key, msg.ticket)
+
+        ticketed = sorted(
+            (tickets[key], key) for key in messages if key in tickets
+        )
+        unticketed = sorted(
+            (msg.ts, msg.sender, msg.gseq, key)
+            for key, msg in messages.items()
+            if key not in tickets
+        )
+        ordered: List[DataMsg] = []
+        for value, key in ticketed:
+            if value > self.last_delivered_ticket:
+                ordered.append(messages[key])
+        for _ts, _sender, _gseq, key in unticketed:
+            ordered.append(messages[key])
+        return ordered
+
+    def reset(self, members: List[str]) -> None:
+        self.arrived = {}
+        self.known_tickets = {}
+        self.last_delivered_ticket = -1
+
+
+class CausalOrder(OrderingStrategy):
+    """Causal order via per-group vector clocks (CBCAST-style)."""
+
+    name = "causal"
+    needs_nulls = False
+
+    def __init__(self, session):
+        super().__init__(session)
+        self.delivered_vc = VectorClock()
+        self._buffer: List[DataMsg] = []
+
+    def stamp(self) -> Dict[str, int]:
+        """Vector stamp for an outgoing message (send counted first)."""
+        self.delivered_vc.increment(self.session.member_id)
+        return dict(self.delivered_vc.counts)
+
+    def on_local_send(self, msg: DataMsg) -> None:
+        if not msg.is_null:
+            # own messages are causally ready by construction; the send was
+            # already counted by stamp()
+            self.session._cleared(msg, key=(msg.ts, msg.sender))
+
+    def on_data(self, msg: DataMsg) -> None:
+        if msg.is_null:
+            return
+        self._buffer.append(msg)
+        self._drain()
+
+    def _drain(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            for msg in list(self._buffer):
+                vector = VectorClock(msg.vector or {})
+                if vector.causally_ready(msg.sender, self.delivered_vc):
+                    self._buffer.remove(msg)
+                    self.delivered_vc.increment(msg.sender)
+                    self.session._cleared(msg, key=(msg.ts, msg.sender))
+                    progressed = True
+
+    def pending_count(self) -> int:
+        return len(self._buffer)
+
+    def frontier(self) -> Any:
+        return dict(self.delivered_vc.counts)
+
+    def finalize(self, union_msgs, union_tickets) -> List[DataMsg]:
+        seen: Dict[Tuple[int, str, int], DataMsg] = {}
+        for msg in self._buffer:
+            seen.setdefault(msg.msg_id, msg)
+        for msg in union_msgs:
+            if not msg.is_null:
+                seen.setdefault(msg.msg_id, msg)
+        remaining = [
+            msg
+            for msg in seen.values()
+            if VectorClock(msg.vector or {}).get(msg.sender)
+            > self.delivered_vc.get(msg.sender)
+        ]
+        # Lamport timestamps respect causality, so timestamp order is a safe
+        # deterministic closing order.
+        remaining.sort(key=lambda m: (m.ts, m.sender, m.gseq))
+        return remaining
+
+    def reset(self, members: List[str]) -> None:
+        self.delivered_vc = VectorClock()
+        self._buffer = []
+
+
+class FifoOrder(OrderingStrategy):
+    """Per-sender FIFO only; the channel layer already provides it."""
+
+    name = "fifo"
+    needs_nulls = False
+
+    def __init__(self, session):
+        super().__init__(session)
+        self.delivered_gseq: Dict[str, int] = {}
+
+    def on_local_send(self, msg: DataMsg) -> None:
+        if not msg.is_null:
+            self.delivered_gseq[msg.sender] = msg.gseq
+            self.session._cleared(msg, key=(msg.ts, msg.sender))
+
+    def on_data(self, msg: DataMsg) -> None:
+        if not msg.is_null:
+            self.delivered_gseq[msg.sender] = msg.gseq
+            self.session._cleared(msg, key=(msg.ts, msg.sender))
+
+    def pending_count(self) -> int:
+        return 0
+
+    def frontier(self) -> Any:
+        return dict(self.delivered_gseq)
+
+    def finalize(self, union_msgs, union_tickets) -> List[DataMsg]:
+        remaining = [
+            msg
+            for msg in union_msgs
+            if not msg.is_null
+            and msg.gseq > self.delivered_gseq.get(msg.sender, 0)
+        ]
+        remaining.sort(key=lambda m: (m.sender, m.gseq))
+        return remaining
+
+    def reset(self, members: List[str]) -> None:
+        self.delivered_gseq = {}
+
+
+_STRATEGIES = {
+    "symmetric": SymmetricOrder,
+    "asymmetric": AsymmetricOrder,
+    "causal": CausalOrder,
+    "fifo": FifoOrder,
+}
+
+
+def make_ordering(name: str, session) -> OrderingStrategy:
+    """Instantiate the ordering strategy named by a :class:`GroupConfig`."""
+    cls = _STRATEGIES.get(name)
+    if cls is None:
+        raise ValueError(f"unknown ordering protocol {name!r}")
+    return cls(session)

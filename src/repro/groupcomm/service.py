@@ -1,0 +1,187 @@
+"""The NewTop group communication service (the NSO's lower half).
+
+One :class:`GroupCommService` per node.  It registers itself as a CORBA
+servant (object id ``"NSO"``) so peer services can reach it with oneway ORB
+invocations — multicasts are implemented, as in the paper (§2.2), by
+invoking each member's NSO in turn, the sender's CPU serialising the sends.
+
+The service owns the resources shared by all of its client's groups:
+
+- the Lamport clock (one per NSO, shared across groups — §2.1);
+- the global ticket counter (when this member sequences asymmetric groups);
+- the reliable FIFO channels to peer NSOs;
+- the cross-group delivery mergers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.errors import GroupError
+from repro.groupcomm.channel import ChannelManager
+from repro.groupcomm.config import GroupConfig
+from repro.groupcomm.lamport import LamportClock
+from repro.groupcomm.merger import SharedClockMerger, TicketMerger
+from repro.groupcomm.messages import (
+    ChanData,
+    DataMsg,
+    FlushOk,
+    FlushReq,
+    JoinReq,
+    KIND_NULL,
+    LeaveReq,
+    SuspectMsg,
+    TicketMsg,
+    ViewInstall,
+)
+from repro.groupcomm.session import GroupSession
+from repro.groupcomm.views import GroupView
+from repro.orb.ior import IOR
+from repro.orb.orb import ORB
+
+__all__ = ["GroupCommService", "PROTOCOL_COST", "NSO_OBJECT_ID"]
+
+#: CPU cost of NewTop protocol processing per received channel message
+#: (queueing, ordering bookkeeping — the overhead behind the paper's
+#: observed 2.5x single-client slowdown, fig. 9).
+PROTOCOL_COST = 200e-6
+
+NSO_OBJECT_ID = "NSO"
+
+
+class _NsoServant:
+    """ORB-facing receiver for channel traffic from peer NSOs."""
+
+    OP_COSTS = {"receive": PROTOCOL_COST}
+
+    def __init__(self, service: "GroupCommService"):
+        self._service = service
+
+    def receive(self, sender: str, message: Any) -> None:
+        self._service.channels.on_message(sender, message)
+
+
+class GroupCommService:
+    """Group membership + reliable/ordered multicast for one node."""
+
+    def __init__(self, orb: ORB):
+        self.orb = orb
+        self.node = orb.node
+        self.sim = orb.sim
+        self.name = orb.node.name
+        self.clock = LamportClock()
+        self.clock_merger = SharedClockMerger()
+        self.ticket_merger = TicketMerger()
+        self.sessions: Dict[str, GroupSession] = {}
+        #: outbound protocol-message counts by kind (data / null / ticket /
+        #: membership / channel control) — the basis of the traffic bench
+        self.traffic: Dict[str, int] = {}
+        self._ticket_counter = 0
+        self._nso_ref = orb.register(_NsoServant(self), object_id=NSO_OBJECT_ID)
+        self.channels = ChannelManager(
+            self.sim, self.name, self._transport, self._route
+        )
+
+    # ------------------------------------------------------------------
+    # group lifecycle
+    # ------------------------------------------------------------------
+    def create_group(
+        self, group: str, config: Optional[GroupConfig] = None
+    ) -> GroupSession:
+        """Create ``group`` with this member as its sole initial member."""
+        if group in self.sessions:
+            raise GroupError(f"{self.name} already participates in {group!r}")
+        view = GroupView(group, 1, [self.name])
+        session = GroupSession(self, group, config or GroupConfig(), initial_view=view)
+        self.sessions[group] = session
+        return session
+
+    def join_group(self, group: str, contact: str) -> GroupSession:
+        """Join ``group`` via ``contact`` (any current member's node name).
+
+        Returns immediately; await ``session.joined`` for the first view.
+        """
+        if group in self.sessions:
+            raise GroupError(f"{self.name} already participates in {group!r}")
+        if contact == self.name:
+            raise GroupError("cannot join via self; name another member")
+        session = GroupSession(self, group, GroupConfig(), initial_view=None)
+        self.sessions[group] = session
+        session.membership.request_join(contact)
+        return session
+
+    def session(self, group: str) -> Optional[GroupSession]:
+        return self.sessions.get(group)
+
+    def drop_session(self, group: str) -> None:
+        self.sessions.pop(group, None)
+
+    # ------------------------------------------------------------------
+    # shared resources
+    # ------------------------------------------------------------------
+    def next_ticket(self) -> int:
+        """Globally increasing ordering ticket (shared across groups)."""
+        self._ticket_counter += 1
+        return self._ticket_counter
+
+    @property
+    def nso_ref(self) -> IOR:
+        return self._nso_ref
+
+    # ------------------------------------------------------------------
+    # transport (channel layer <-> ORB)
+    # ------------------------------------------------------------------
+    def _transport(self, peer: str, message: Any) -> None:
+        kind = self._classify(message)
+        self.traffic[kind] = self.traffic.get(kind, 0) + 1
+        target = IOR(peer, "RootPOA", NSO_OBJECT_ID)
+        self.orb.invoke(target, "receive", (self.name, message), oneway=True)
+
+    @staticmethod
+    def _classify(message: Any) -> str:
+        inner = message.inner if isinstance(message, ChanData) else message
+        if isinstance(inner, DataMsg):
+            return "null" if inner.kind == KIND_NULL else "data"
+        if isinstance(inner, TicketMsg):
+            return "ticket"
+        if isinstance(inner, (JoinReq, LeaveReq, SuspectMsg, FlushReq, FlushOk, ViewInstall)):
+            return "membership"
+        return "control"
+
+    def send_protocol(self, peer: str, message: Any) -> None:
+        """Send a membership-protocol message (reliably, FIFO with data)."""
+        if peer == self.name:
+            self._route(peer, message)
+        else:
+            self.channels.send(peer, message)
+
+    # ------------------------------------------------------------------
+    # inbound routing
+    # ------------------------------------------------------------------
+    def _route(self, peer: str, message: Any) -> None:
+        session = self.sessions.get(getattr(message, "group", None))
+        if session is None:
+            return
+        # any protocol traffic proves the peer alive (flush rounds can be
+        # long; they must not starve the failure detector)
+        if peer != self.name and session.view is not None and peer in session.view.members:
+            session.detector.heard_from(peer)
+        if isinstance(message, DataMsg):
+            session.on_data(peer, message)
+        elif isinstance(message, TicketMsg):
+            session.on_ticket(peer, message)
+        elif isinstance(message, JoinReq):
+            session.membership.on_join_req(message)
+        elif isinstance(message, LeaveReq):
+            session.membership.on_leave_req(message)
+        elif isinstance(message, SuspectMsg):
+            session.membership.on_suspect_msg(message)
+        elif isinstance(message, FlushReq):
+            session.membership.on_flush_req(message)
+        elif isinstance(message, FlushOk):
+            session.membership.on_flush_ok(message)
+        elif isinstance(message, ViewInstall):
+            session.membership.on_view_install(message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<GroupCommService {self.name} groups={sorted(self.sessions)}>"

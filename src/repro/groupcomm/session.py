@@ -1,0 +1,498 @@
+"""Group sessions: one member's state for one group.
+
+A :class:`GroupSession` is the handle the invocation layer (and applications
+using group communication directly) hold on a group.  It owns
+
+- the installed view and member state machine
+  (``joining`` → ``active`` ⇄ ``flushing`` → ``closed``);
+- per-view sequence numbers, the unstable-message buffer and piggybacked
+  stability tracking;
+- the ordering strategy (symmetric / asymmetric / causal / FIFO);
+- the time-silence + failure-suspicion machinery;
+- the membership engine.
+
+Sends issued while the session is joining or flushing are queued and go out
+in the next active period, preserving the caller's FIFO order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import NotMember
+from repro.groupcomm.config import GroupConfig
+from repro.groupcomm.failuredetector import FailureDetector
+from repro.groupcomm.flowcontrol import FlowController
+from repro.groupcomm.membership import MembershipEngine
+from repro.groupcomm.messages import (
+    DataMsg,
+    KIND_DATA,
+    KIND_NULL,
+    TicketMsg,
+    ViewInstall,
+)
+from repro.groupcomm.ordering import make_ordering
+from repro.groupcomm.views import GroupView
+from repro.sim.futures import Future
+
+__all__ = ["GroupSession"]
+
+#: CPU cost of handing one delivered message up to the application object
+#: (the local m3/m6 invocations of the paper's fig. 9).
+DELIVER_COST = 30e-6
+
+
+class SessionStats:
+    """Per-session counters (for tests and benchmarks)."""
+
+    def __init__(self):
+        self.sent = 0
+        self.nulls_sent = 0
+        self.delivered = 0
+        self.views = 0
+
+
+class GroupSession:
+    """One member's endpoint in one group."""
+
+    def __init__(
+        self,
+        service,
+        group: str,
+        config: GroupConfig,
+        initial_view: Optional[GroupView] = None,
+    ):
+        self.service = service
+        self.sim = service.sim
+        self.member_id = service.name
+        self.group = group
+        self.config = config
+        self.view: Optional[GroupView] = initial_view
+        self.state = "active" if initial_view is not None else "joining"
+
+        # application callbacks
+        self.on_deliver: Optional[Callable[[str, Any], None]] = None
+        self.on_view: Optional[Callable[[GroupView, List[str], List[str]], None]] = None
+
+        # outcome futures
+        self.joined = Future(name=f"joined:{group}@{self.member_id}")
+        self.left = Future(name=f"left:{group}@{self.member_id}")
+        if initial_view is not None:
+            self.joined.resolve(initial_view)
+
+        # per-view message state
+        self._gseq_next = 1
+        self._recv_gseq: Dict[str, int] = {}
+        self._acked: Dict[str, Dict[str, int]] = {}
+        self.unstable: Dict[Tuple[int, str, int], DataMsg] = {}
+        self._queued_sends: List[Any] = []
+        self._future_buffer: List[Tuple[str, Any]] = []
+        self._last_sent_ts = 0
+        self._max_seen_ts = 0
+        self._acks_owed = False
+        self._self_ack_owed = False
+        self._null_timer = None
+        self._leaving = False
+
+        self.stats = SessionStats()
+        self.flow = FlowController(config.send_window)
+        self.ordering = make_ordering(config.ordering, self)
+        self.detector = FailureDetector(self)
+        self.membership = MembershipEngine(self)
+        if initial_view is not None:
+            self._register_with_mergers()
+            self.detector.start()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    @property
+    def members(self) -> List[str]:
+        return list(self.view.members) if self.view else []
+
+    @property
+    def sequencer(self) -> str:
+        """The ordering sequencer: the config hint if present, else rank 0."""
+        hint = self.config.sequencer_hint
+        if hint and self.view is not None and hint in self.view.members:
+            return hint
+        return self.view.members[0] if self.view else ""
+
+    def send(self, payload: Any) -> None:
+        """Multicast ``payload`` to the group with the configured ordering.
+
+        One-way (asynchronous) send: returns immediately; delivery happens
+        at every member — including the sender — via ``on_deliver``.  Sends
+        beyond the flow-control window are queued and go out as earlier
+        messages stabilise.
+        """
+        if self.state == "closed":
+            raise NotMember(f"{self.member_id} is not a member of {self.group}")
+        if self.state in ("joining", "flushing"):
+            self._queued_sends.append(payload)
+            return
+        if not self.flow.try_acquire(payload):
+            return  # window full: queued inside the flow controller
+        self._do_send(payload, KIND_DATA)
+
+    def leave(self) -> Future:
+        """Depart gracefully; resolves once the group has reformed.
+
+        The intention persists across view changes: if the coordinator
+        handling our request fails (or leaves) first, the request is
+        re-issued to its successor on the next view install.
+        """
+        if self.state == "closed":
+            return self.left
+        self._leaving = True
+        if self.view is not None and len(self.view.members) == 1:
+            self._close()
+            return self.left
+        self.membership.request_leave()
+        return self.left
+
+    def group_details(self) -> Optional[GroupView]:
+        """The paper's ``groupdetails`` operation: the current view."""
+        return self.view
+
+    def has_outstanding(self) -> bool:
+        """Whether application messages are outstanding (event-driven arming)."""
+        return (
+            self.ordering.pending_count() > 0
+            or bool(self.unstable)
+            or bool(self._queued_sends)
+        )
+
+    # ------------------------------------------------------------------
+    # sending machinery
+    # ------------------------------------------------------------------
+    def send_null(self) -> None:
+        """Emit a time-silence NULL ("I am alive") message.
+
+        NULLs also flow while flushing: membership agreement must not starve
+        the failure detector of liveness evidence.
+        """
+        if self.state not in ("active", "flushing"):
+            return
+        self._do_send(None, KIND_NULL)
+        self.stats.nulls_sent += 1
+
+    def _do_send(self, payload: Any, kind: str) -> None:
+        ts = self.service.clock.tick()
+        self._last_sent_ts = ts
+        self._acks_owed = False
+        if kind == KIND_DATA:
+            gseq = self._gseq_next
+            self._gseq_next += 1
+        else:
+            gseq = 0
+        ticket = None
+        vector = None
+        if kind == KIND_DATA:
+            if (
+                self.ordering.name == "asymmetric"
+                and self.member_id == self.sequencer
+            ):
+                ticket = self.service.next_ticket()
+            elif self.ordering.name == "causal":
+                vector = self.ordering.stamp()
+        msg = DataMsg(
+            self.group,
+            self.member_id,
+            self.view.view_id,
+            gseq,
+            ts,
+            kind,
+            payload,
+            ticket,
+            vector,
+            self._current_acks(),
+        )
+        if kind == KIND_DATA:
+            self.unstable[msg.msg_id] = msg
+            self.stats.sent += 1
+        self.detector.sent_something()
+        for member in self.view.members:
+            if member != self.member_id:
+                self.service.channels.send(member, msg)
+        self.ordering.on_local_send(msg)
+        # symmetric ordering: peers can only deliver our message once they
+        # hold a *later* timestamp from us — if nothing else goes out soon,
+        # a NULL must follow (the sender-side half of the protocol traffic)
+        if kind == KIND_DATA and self.ordering.needs_nulls:
+            self._self_ack_owed = True
+            deadline = self.sim.now + self.config.null_delay
+            if self._null_timer is not None and deadline < self._null_timer.time:
+                self._null_timer.cancel()
+                self._null_timer = None
+            if self._null_timer is None:
+                self._null_timer = self.sim.schedule(
+                    self.config.null_delay, self._null_timer_fired
+                )
+        else:
+            self._self_ack_owed = False
+        self._post_event_drain()
+
+    def _current_acks(self) -> Dict[str, int]:
+        acks = dict(self._recv_gseq)
+        acks[self.member_id] = self._gseq_next - 1
+        return acks
+
+    # ------------------------------------------------------------------
+    # receive path (called by the service's channel upcall)
+    # ------------------------------------------------------------------
+    def on_data(self, peer: str, msg: DataMsg) -> None:
+        if self.state == "closed":
+            return
+        self.service.clock.observe(msg.ts)
+        if self.state == "joining" or (
+            self.view is not None and msg.view_id > self.view.view_id
+        ):
+            self._future_buffer.append((peer, msg))
+            return
+        if msg.view_id < self.view.view_id or msg.sender not in self.view.members:
+            return
+        self.detector.heard_from(msg.sender)
+        if not msg.is_null:
+            self._recv_gseq[msg.sender] = msg.gseq
+            self.unstable[msg.msg_id] = msg
+        self._ingest_acks(msg.sender, msg.acks)
+        self._consider_null_reply(msg)
+        self.ordering.on_data(msg)
+        self._post_event_drain()
+
+    def on_ticket(self, peer: str, msg: TicketMsg) -> None:
+        if self.state == "closed" or self.view is None:
+            return
+        if self.state == "joining" or msg.view_id > self.view.view_id:
+            self._future_buffer.append((peer, msg))
+            return
+        if msg.view_id < self.view.view_id:
+            return
+        self.detector.heard_from(msg.sender)
+        self.ordering.on_ticket(msg)
+        self._post_event_drain()
+
+    def _post_event_drain(self) -> None:
+        if self.ordering.name == "symmetric":
+            self.service.clock_merger.drain()
+        elif self.ordering.name == "asymmetric":
+            self.service.ticket_merger.drain()
+
+    # ------------------------------------------------------------------
+    # stability tracking
+    # ------------------------------------------------------------------
+    def _ingest_acks(self, reporter: str, acks: Dict[str, int]) -> None:
+        self._acked[reporter] = dict(acks)
+        if not self.unstable or self.view is None:
+            return
+        members = self.view.members
+        own = self._current_acks()
+        stable: Dict[str, int] = {}
+        for sender in members:
+            low = own.get(sender, 0)
+            for member in members:
+                if member == self.member_id:
+                    continue
+                low = min(low, self._acked.get(member, {}).get(sender, 0))
+            stable[sender] = low
+        own_released = 0
+        for msg_id in [
+            mid for mid in self.unstable if mid[2] <= stable.get(mid[1], 0)
+        ]:
+            if msg_id[1] == self.member_id:
+                own_released += 1
+            del self.unstable[msg_id]
+        if own_released:
+            self.flow.release(own_released)
+            while True:
+                payload = self.flow.drain()
+                if payload is None:
+                    break
+                self._do_send(payload, KIND_DATA)
+
+    # ------------------------------------------------------------------
+    # reactive NULL scheduling
+    #
+    # A NULL is owed after receiving a data message for two reasons:
+    # - symmetric ordering needs our timestamp to pass the message's (else
+    #   nobody can deliver it);
+    # - stability needs our piggybacked acks to reach the sender (else the
+    #   message stays outstanding everywhere and event-driven groups never
+    #   quiesce).
+    # Sending anything (data or null) within ``null_delay`` cancels the debt.
+    # ------------------------------------------------------------------
+    def _consider_null_reply(self, msg: DataMsg) -> None:
+        if msg.is_null:
+            return
+        if msg.ts > self._max_seen_ts:
+            self._max_seen_ts = msg.ts
+        self._acks_owed = True
+        # ordering progress needs a prompt NULL (null_delay); a pure
+        # stability ack may be batched for longer (ack_delay)
+        if self.ordering.needs_nulls and self._last_sent_ts < self._max_seen_ts:
+            delay = self.config.null_delay
+        else:
+            delay = self.config.ack_delay
+        deadline = self.sim.now + delay
+        if self._null_timer is not None and deadline < self._null_timer.time:
+            self._null_timer.cancel()
+            self._null_timer = None
+        if self._null_timer is None:
+            self._null_timer = self.sim.schedule(delay, self._null_timer_fired)
+
+    def _null_timer_fired(self) -> None:
+        self._null_timer = None
+        if self.state not in ("active", "flushing"):
+            return
+        if (
+            self._acks_owed
+            or self._self_ack_owed
+            or (self.ordering.needs_nulls and self._last_sent_ts < self._max_seen_ts)
+        ):
+            self.send_null()
+
+    # ------------------------------------------------------------------
+    # ordering-layer callbacks
+    # ------------------------------------------------------------------
+    def _cleared(self, msg: DataMsg, key: Tuple[int, str]) -> None:
+        """A message cleared group-level ordering."""
+        if self.ordering.name == "symmetric":
+            self.service.clock_merger.push(self, msg, key)
+        else:
+            self._deliver_app(msg)
+
+    def _enqueue_ticket(self, ticket: int, key: Tuple[str, int]) -> None:
+        self.service.ticket_merger.enqueue(self.sequencer, self, ticket, key)
+
+    def _announce_ticket(self, ticket: int, key: Tuple[str, int]) -> None:
+        sender, gseq = key
+        msg = TicketMsg(self.group, self.member_id, self.view.view_id, ticket, sender, gseq)
+        for member in self.view.members:
+            if member != self.member_id:
+                self.service.channels.send(member, msg)
+        self.detector.sent_something()
+
+    def _drain_tickets(self) -> None:
+        self.service.ticket_merger.drain()
+
+    def _deliver_app(self, msg: DataMsg) -> None:
+        if msg.is_null:
+            return
+        self.stats.delivered += 1
+        if self.on_deliver is not None:
+            self.service.node.execute(
+                DELIVER_COST, self._upcall, msg.sender, msg.payload
+            )
+
+    def _upcall(self, sender: str, payload: Any) -> None:
+        if self.state != "closed" and self.on_deliver is not None:
+            self.on_deliver(sender, payload)
+
+    # ------------------------------------------------------------------
+    # flush / view change support
+    # ------------------------------------------------------------------
+    def collect_flush_state(self):
+        """(unstable messages, known tickets, delivery frontier) for FlushOk."""
+        if self.view is None:
+            return [], [], None
+        unstable = list(self.unstable.values())
+        tickets = []
+        if self.ordering.name == "asymmetric":
+            tickets = [
+                (value, sender, gseq)
+                for (sender, gseq), value in self.ordering.known_tickets.items()
+            ]
+        return unstable, tickets, self.ordering.frontier()
+
+    def apply_view_install(self, install: ViewInstall) -> None:
+        """Deliver the closing set, then adopt the new view."""
+        first_view = self.view is None
+        joining = self.state == "joining"
+        if joining:
+            # adopt the group's real configuration (the creator's)
+            self.config = install.config
+            self.ordering = make_ordering(install.config.ordering, self)
+            self.detector = FailureDetector(self)
+            self.flow = FlowController(install.config.send_window)
+        else:
+            self._unregister_from_mergers()
+            for msg in self.ordering.finalize(install.unstable, install.tickets):
+                self._deliver_app(msg)
+
+        old_members = set(self.view.members) if self.view else set()
+        self.view = install.view
+        new_members = set(install.view.members)
+        joined = [m for m in install.view.members if m not in old_members]
+        left = sorted(old_members - new_members)
+
+        # fresh per-view state
+        self.ordering.reset(install.view.members)
+        self._gseq_next = 1
+        self._recv_gseq = {m: 0 for m in install.view.members}
+        self._acked = {}
+        self.unstable = {}
+        self._last_sent_ts = self.service.clock.value
+        self._max_seen_ts = 0
+        self._acks_owed = False
+        self._self_ack_owed = False
+        if self._null_timer is not None:
+            self._null_timer.cancel()
+            self._null_timer = None
+
+        self.state = "active"
+        self.stats.views += 1
+        self._register_with_mergers()
+        self.detector.on_view_change()
+        self.detector.start()
+        if first_view or joining:
+            self.joined.try_resolve(install.view)
+        if self.on_view is not None:
+            self.on_view(install.view, joined, left)
+
+        # replay buffered new-view traffic, then queued application sends
+        # (both the flush-time queue and anything flow control held back)
+        buffered, self._future_buffer = self._future_buffer, []
+        for peer, message in buffered:
+            if isinstance(message, DataMsg):
+                self.on_data(peer, message)
+            else:
+                self.on_ticket(peer, message)
+        held = self.flow.pop_all_queued()
+        self.flow.reset()
+        queued, self._queued_sends = self._queued_sends, []
+        for payload in queued + held:
+            if self.flow.try_acquire(payload):
+                self._do_send(payload, KIND_DATA)
+
+        # a departure intention outlives coordinator changes
+        if self._leaving and self.state == "active":
+            if len(self.view.members) == 1:
+                self._close()
+            else:
+                self.membership.request_leave()
+
+    def _register_with_mergers(self) -> None:
+        if self.ordering.name == "symmetric":
+            self.service.clock_merger.register(self)
+
+    def _unregister_from_mergers(self) -> None:
+        self.service.clock_merger.unregister(self)
+        self.service.ticket_merger.purge(self)
+
+    def _close(self) -> None:
+        if self.state == "closed":
+            return
+        self.state = "closed"
+        self.detector.stop()
+        self._unregister_from_mergers()
+        if self._null_timer is not None:
+            self._null_timer.cancel()
+            self._null_timer = None
+        self.service.drop_session(self.group)
+        self.left.try_resolve(None)
+        self.joined.try_fail(NotMember(f"{self.group}: membership ended"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        vid = self.view.view_id if self.view else "-"
+        return f"<GroupSession {self.group}@{self.member_id} v{vid} {self.state}>"

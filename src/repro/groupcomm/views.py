@@ -1,0 +1,88 @@
+"""Group views.
+
+A view is the agreed membership of a group at a point in its history.
+Member order is **creation order** (creator first, joiners appended); the
+first member of a view doubles as the membership coordinator and — for
+asymmetric groups — the sequencer.  This is what lets the invocation layer
+pin the request manager / primary / sequencer to the same member (§4.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.orb.marshal import corba_struct
+
+__all__ = ["GroupView"]
+
+
+@corba_struct
+class GroupView:
+    """An installed membership view: (group name, view number, members)."""
+
+    __slots__ = ("group", "view_id", "members")
+    _fields = ("group", "view_id", "members")
+
+    def __init__(self, group: str, view_id: int, members: List[str]):
+        if not members:
+            raise ValueError("a view must contain at least one member")
+        if len(set(members)) != len(members):
+            raise ValueError("duplicate members in view")
+        self.group = group
+        self.view_id = view_id
+        self.members = list(members)
+
+    # ------------------------------------------------------------------
+    # roles
+    # ------------------------------------------------------------------
+    @property
+    def coordinator(self) -> str:
+        """The member responsible for driving membership agreement."""
+        return self.members[0]
+
+    @property
+    def sequencer(self) -> str:
+        """The ordering sequencer for asymmetric groups."""
+        return self.members[0]
+
+    def rank(self, member: str) -> int:
+        return self.members.index(member)
+
+    def __contains__(self, member: str) -> bool:
+        return member in self.members
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def majority(self) -> int:
+        """Smallest number of members constituting a majority."""
+        return len(self.members) // 2 + 1
+
+    # ------------------------------------------------------------------
+    # derivation
+    # ------------------------------------------------------------------
+    def next_view(
+        self,
+        remove: Optional[List[str]] = None,
+        add: Optional[List[str]] = None,
+    ) -> "GroupView":
+        """The successor view with members removed/appended, id + 1."""
+        members = [m for m in self.members if not remove or m not in remove]
+        for member in add or []:
+            if member not in members:
+                members.append(member)
+        return GroupView(self.group, self.view_id + 1, members)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, GroupView)
+            and self.group == other.group
+            and self.view_id == other.view_id
+            and self.members == other.members
+        )
+
+    def __hash__(self):
+        return hash((self.group, self.view_id, tuple(self.members)))
+
+    def __repr__(self) -> str:
+        return f"GroupView({self.group}#{self.view_id} {self.members})"

@@ -1,0 +1,183 @@
+"""The simulated network: message transmission, partitions, loss, stats.
+
+Transmission of a message from node A to node B:
+
+1. A's CPU pays the send cost (done in :meth:`Node.send`), then hands the
+   message to :meth:`Network.transmit`.
+2. The network drops it if the destination is unreachable (crash/partition)
+   or the link's loss process fires — silently, as in the paper's
+   asynchronous system model.
+3. Otherwise it is delivered after serialisation + propagation delay, and
+   B's CPU pays the receive cost before the handler runs.
+
+Links preserve FIFO per (src, dst) pair, like a TCP connection: delivery
+times are clamped to be non-decreasing per pair.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.net.node import Node
+from repro.net.topology import Topology
+from repro.sim.core import Simulator
+
+__all__ = ["Network", "NetworkStats"]
+
+
+class NetworkStats:
+    """Counters for traffic observation and tests."""
+
+    def __init__(self):
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+        self.per_service_sent: Dict[str, int] = {}
+
+    def record_send(self, service: str, size: int) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += size
+        self.per_service_sent[service] = self.per_service_sent.get(service, 0) + 1
+
+    def record_delivery(self) -> None:
+        self.messages_delivered += 1
+
+    def record_drop(self) -> None:
+        self.messages_dropped += 1
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "sent": self.messages_sent,
+            "delivered": self.messages_delivered,
+            "dropped": self.messages_dropped,
+            "bytes": self.bytes_sent,
+        }
+
+
+class Network:
+    """Connects nodes according to a :class:`Topology`."""
+
+    def __init__(self, sim: Simulator, topology: Topology):
+        self.sim = sim
+        self.topology = topology
+        self.nodes: Dict[str, Node] = {}
+        self.stats = NetworkStats()
+        self._partition: Optional[List[Set[str]]] = None  # sets of node names
+        self._last_arrival: Dict[Tuple[str, str], float] = {}
+        # shared link capacity: messages serialise onto the (directed)
+        # site-pair pipe they cross — intra-site traffic shares the LAN
+        # segment, inter-site traffic shares the Internet path.  The WAN
+        # pipe's limited bandwidth is what makes a client's multicast to
+        # all replicas unattractive over wide areas (§1, §5.1.3).
+        self._link_busy: Dict[Tuple[str, str], float] = {}
+        self._rng = sim.rng("net.latency")
+        self._loss_rng = sim.rng("net.loss")
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def attach(self, node: Node) -> Node:
+        if node.name in self.nodes:
+            raise ValueError(f"node {node.name!r} already attached")
+        if not self.topology.has_site(node.site):
+            raise KeyError(f"node {node.name!r} references unknown site {node.site!r}")
+        self.nodes[node.name] = node
+        node.network = self
+        return node
+
+    def node(self, name: str) -> Node:
+        return self.nodes[name]
+
+    def new_node(self, name: str, site: str, **kwargs: Any) -> Node:
+        """Create a node at ``site`` and attach it."""
+        return self.attach(Node(self.sim, name, site, **kwargs))
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+    def transmit(self, src: str, dst: str, service: str, payload: Any, size: int) -> None:
+        """Deliver a message from ``src`` to ``dst`` (called post send-CPU).
+
+        The message serialises onto the directed link resource it crosses —
+        the shared LAN segment for intra-site traffic, the shared Internet
+        pipe for inter-site traffic — queueing behind earlier traffic, then
+        propagates.  On a 100 Mbit LAN the queue is all but invisible; on a
+        ~2 Mbit WAN path it is the dominant cost of fanning a multicast out
+        across sites.
+        """
+        self.stats.record_send(service, size)
+        src_site = self.nodes[src].site
+        dst_node = self.nodes.get(dst)
+        dst_site = dst_node.site if dst_node is not None else src_site
+        link = self.topology.link(src_site, dst_site)
+
+        # link capacity is consumed whether or not the message will arrive
+        resource = (src_site, dst_site)
+        tx_start = max(self.sim.now, self._link_busy.get(resource, 0.0))
+        tx_end = tx_start + link.serialisation_delay(size)
+        self._link_busy[resource] = tx_end
+
+        if dst_node is None or not dst_node.alive or not self.reachable(src, dst):
+            self.stats.record_drop()
+            return
+        if link.loss and self._loss_rng.random() < link.loss:
+            self.stats.record_drop()
+            return
+
+        arrival = tx_end + link.latency.sample(self._rng)
+        # FIFO per (src, dst): arrivals never reorder on one link.
+        key = (src, dst)
+        arrival = max(arrival, self._last_arrival.get(key, 0.0))
+        self._last_arrival[key] = arrival
+        self.stats.record_delivery()
+        self.sim.schedule_at(arrival, dst_node.deliver, src, service, payload, size)
+
+    # ------------------------------------------------------------------
+    # partitions
+    # ------------------------------------------------------------------
+    def partition(self, *groups: Iterable[str]) -> None:
+        """Split the network: messages flow only within each group.
+
+        Groups are iterables of node names; unlisted nodes form an implicit
+        final group together.
+        """
+        explicit: List[Set[str]] = [set(g) for g in groups]
+        listed = set().union(*explicit) if explicit else set()
+        rest = set(self.nodes) - listed
+        if rest:
+            explicit.append(rest)
+        self._partition = explicit
+
+    def partition_sites(self, *site_groups: Iterable[str]) -> None:
+        """Partition along site boundaries (e.g. isolate Pisa)."""
+        groups = []
+        for sites in site_groups:
+            sites = set(sites)
+            groups.append({n.name for n in self.nodes.values() if n.site in sites})
+        self.partition(*groups)
+
+    def heal(self) -> None:
+        """Remove any partition."""
+        self._partition = None
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """Whether a message can currently flow from ``src`` to ``dst``."""
+        if self._partition is None:
+            return True
+        for group in self._partition:
+            if src in group:
+                return dst in group
+        return False
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def crash(self, name: str) -> None:
+        self.nodes[name].crash()
+
+    def recover(self, name: str) -> None:
+        self.nodes[name].recover()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Network nodes={len(self.nodes)} partitioned={self._partition is not None}>"

@@ -1,0 +1,38 @@
+"""Mini-ORB: the CORBA stand-in the NewTop service is layered over.
+
+Provides IOR/IOGR references, a CDR-style wire codec with honest sizes,
+object adapters, synchronous and oneway one-to-one invocation, smart proxies
+with IOGR failover, interceptors, and a naming service.
+"""
+
+from repro.orb.interceptors import CountingInterceptor, TraceInterceptor
+from repro.orb.ior import IOGR, IOR
+from repro.orb.marshal import MarshalError, corba_struct, decode, encode, wire_size
+from repro.orb.messages import GIOP_OVERHEAD, Reply, Request
+from repro.orb.naming import NameServer, NamingClient
+from repro.orb.orb import DISPATCH_OVERHEAD, LOCAL_CALL_OVERHEAD, ORB
+from repro.orb.poa import DEFAULT_SERVANT_COST, POA
+from repro.orb.smartproxy import GroupProxy
+
+__all__ = [
+    "ORB",
+    "POA",
+    "IOR",
+    "IOGR",
+    "GroupProxy",
+    "NameServer",
+    "NamingClient",
+    "TraceInterceptor",
+    "CountingInterceptor",
+    "Request",
+    "Reply",
+    "corba_struct",
+    "encode",
+    "decode",
+    "wire_size",
+    "MarshalError",
+    "GIOP_OVERHEAD",
+    "DISPATCH_OVERHEAD",
+    "LOCAL_CALL_OVERHEAD",
+    "DEFAULT_SERVANT_COST",
+]

@@ -1,0 +1,60 @@
+"""Portable-interceptor-style observers for the mini-ORB.
+
+The paper (§2.2) anticipates using OMG interceptors to slot NewTop in as a
+multicast transport.  Here interceptors serve the reproduction's needs:
+tracing invocation flows in tests and counting ORB traffic in benchmarks.
+
+An interceptor is any object implementing a subset of the hooks:
+``on_send_request(request, target)``, ``on_receive_request(request, src)``,
+``on_send_reply(reply, dst)``, ``on_receive_reply(reply, _)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+__all__ = ["TraceInterceptor", "CountingInterceptor"]
+
+
+class TraceInterceptor:
+    """Records every hook firing as (hook, operation-or-id) tuples."""
+
+    def __init__(self):
+        self.events: List[Tuple[str, Any]] = []
+
+    def on_send_request(self, request, target) -> None:
+        self.events.append(("send_request", request.operation))
+
+    def on_receive_request(self, request, src) -> None:
+        self.events.append(("receive_request", request.operation))
+
+    def on_send_reply(self, reply, dst) -> None:
+        self.events.append(("send_reply", reply.request_id))
+
+    def on_receive_reply(self, reply, _context) -> None:
+        self.events.append(("receive_reply", reply.request_id))
+
+    def operations(self, hook: str) -> List[Any]:
+        return [op for h, op in self.events if h == hook]
+
+
+class CountingInterceptor:
+    """Counts requests and replies passing through one ORB."""
+
+    def __init__(self):
+        self.requests_sent = 0
+        self.requests_received = 0
+        self.replies_sent = 0
+        self.replies_received = 0
+
+    def on_send_request(self, request, target) -> None:
+        self.requests_sent += 1
+
+    def on_receive_request(self, request, src) -> None:
+        self.requests_received += 1
+
+    def on_send_reply(self, reply, dst) -> None:
+        self.replies_sent += 1
+
+    def on_receive_reply(self, reply, _context) -> None:
+        self.replies_received += 1

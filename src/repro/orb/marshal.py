@@ -1,0 +1,191 @@
+"""A compact CDR-style wire codec.
+
+Messages really are encoded to bytes and decoded on arrival, which gives the
+simulation two properties the paper's measurements depend on:
+
+- honest wire sizes (serialisation delay and per-byte CPU costs are computed
+  from the encoded length), and
+- full isolation between "address spaces" (no shared mutable state can leak
+  between simulated nodes).
+
+Supported values: None, bool, int, float, str, bytes, list, tuple, dict, and
+any class registered with :func:`corba_struct` (encoded field-by-field in
+declaration order).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable, Dict, List, Tuple, Type
+
+__all__ = ["corba_struct", "encode", "decode", "wire_size", "MarshalError"]
+
+
+class MarshalError(ValueError):
+    """Raised on unencodable values or corrupt byte streams."""
+
+
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"I"
+_TAG_FLOAT = b"d"
+_TAG_STR = b"s"
+_TAG_BYTES = b"b"
+_TAG_LIST = b"L"
+_TAG_TUPLE = b"t"
+_TAG_DICT = b"D"
+_TAG_STRUCT = b"S"
+
+_STRUCT_REGISTRY: Dict[str, Tuple[Type, Tuple[str, ...]]] = {}
+
+
+def corba_struct(cls: Type) -> Type:
+    """Class decorator: register a value type for wire marshalling.
+
+    The class must expose ``_fields`` (a tuple of attribute names) or be
+    introspectable via ``__slots__``.  Decoding calls the constructor with
+    the fields as keyword arguments.
+    """
+    fields = getattr(cls, "_fields", None)
+    if fields is None:
+        slots = getattr(cls, "__slots__", None)
+        if slots is None:
+            raise MarshalError(
+                f"{cls.__name__} needs _fields or __slots__ for marshalling"
+            )
+        fields = tuple(slots)
+    name = cls.__name__
+    if name in _STRUCT_REGISTRY and _STRUCT_REGISTRY[name][0] is not cls:
+        raise MarshalError(f"duplicate struct name {name!r}")
+    _STRUCT_REGISTRY[name] = (cls, tuple(fields))
+    cls._wire_name = name
+    return cls
+
+
+def _encode_into(value: Any, out: List[bytes]) -> None:
+    if value is None:
+        out.append(_TAG_NONE)
+    elif value is True:
+        out.append(_TAG_TRUE)
+    elif value is False:
+        out.append(_TAG_FALSE)
+    elif isinstance(value, int):
+        out.append(_TAG_INT)
+        out.append(struct.pack(">q", value))
+    elif isinstance(value, float):
+        out.append(_TAG_FLOAT)
+        out.append(struct.pack(">d", value))
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(_TAG_STR)
+        out.append(struct.pack(">I", len(raw)))
+        out.append(raw)
+    elif isinstance(value, bytes):
+        out.append(_TAG_BYTES)
+        out.append(struct.pack(">I", len(value)))
+        out.append(value)
+    elif isinstance(value, list):
+        out.append(_TAG_LIST)
+        out.append(struct.pack(">I", len(value)))
+        for item in value:
+            _encode_into(item, out)
+    elif isinstance(value, tuple):
+        out.append(_TAG_TUPLE)
+        out.append(struct.pack(">I", len(value)))
+        for item in value:
+            _encode_into(item, out)
+    elif isinstance(value, dict):
+        out.append(_TAG_DICT)
+        out.append(struct.pack(">I", len(value)))
+        for key, item in value.items():
+            _encode_into(key, out)
+            _encode_into(item, out)
+    else:
+        wire_name = getattr(type(value), "_wire_name", None)
+        if wire_name is None or wire_name not in _STRUCT_REGISTRY:
+            raise MarshalError(f"cannot marshal {type(value).__name__}: {value!r}")
+        _cls, fields = _STRUCT_REGISTRY[wire_name]
+        raw = wire_name.encode("utf-8")
+        out.append(_TAG_STRUCT)
+        out.append(struct.pack(">I", len(raw)))
+        out.append(raw)
+        for field in fields:
+            _encode_into(getattr(value, field), out)
+
+
+def encode(value: Any) -> bytes:
+    """Encode ``value`` to its wire representation."""
+    out: List[bytes] = []
+    _encode_into(value, out)
+    return b"".join(out)
+
+
+class _Reader:
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise MarshalError("truncated stream")
+        chunk = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return chunk
+
+    def u32(self) -> int:
+        return struct.unpack(">I", self.take(4))[0]
+
+
+def _decode_from(reader: _Reader) -> Any:
+    tag = reader.take(1)
+    if tag == _TAG_NONE:
+        return None
+    if tag == _TAG_TRUE:
+        return True
+    if tag == _TAG_FALSE:
+        return False
+    if tag == _TAG_INT:
+        return struct.unpack(">q", reader.take(8))[0]
+    if tag == _TAG_FLOAT:
+        return struct.unpack(">d", reader.take(8))[0]
+    if tag == _TAG_STR:
+        return reader.take(reader.u32()).decode("utf-8")
+    if tag == _TAG_BYTES:
+        return reader.take(reader.u32())
+    if tag == _TAG_LIST:
+        return [_decode_from(reader) for _ in range(reader.u32())]
+    if tag == _TAG_TUPLE:
+        return tuple(_decode_from(reader) for _ in range(reader.u32()))
+    if tag == _TAG_DICT:
+        count = reader.u32()
+        result = {}
+        for _ in range(count):
+            key = _decode_from(reader)
+            result[key] = _decode_from(reader)
+        return result
+    if tag == _TAG_STRUCT:
+        name = reader.take(reader.u32()).decode("utf-8")
+        entry = _STRUCT_REGISTRY.get(name)
+        if entry is None:
+            raise MarshalError(f"unknown struct {name!r} on the wire")
+        cls, fields = entry
+        kwargs = {field: _decode_from(reader) for field in fields}
+        return cls(**kwargs)
+    raise MarshalError(f"unknown tag {tag!r}")
+
+
+def decode(data: bytes) -> Any:
+    """Decode a value previously produced by :func:`encode`."""
+    reader = _Reader(data)
+    value = _decode_from(reader)
+    if reader.pos != len(data):
+        raise MarshalError("trailing bytes after value")
+    return value
+
+
+def wire_size(value: Any) -> int:
+    """Encoded size in bytes (convenience for sizing without sending)."""
+    return len(encode(value))

@@ -1,0 +1,65 @@
+"""GIOP-style request/reply wire messages."""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.orb.marshal import corba_struct
+
+__all__ = ["Request", "Reply", "STATUS_OK", "STATUS_EXCEPTION", "STATUS_NOT_FOUND", "GIOP_OVERHEAD"]
+
+#: Fixed per-message framing overhead added to every encoded ORB message
+#: (GIOP header, service contexts, alignment padding).
+GIOP_OVERHEAD = 48
+
+STATUS_OK = 0
+STATUS_EXCEPTION = 1
+STATUS_NOT_FOUND = 2
+
+
+@corba_struct
+class Request:
+    """An invocation request.
+
+    ``reply_node`` names the node whose ORB awaits the reply; for oneway
+    requests it is empty and no reply is generated.
+    """
+
+    __slots__ = ("request_id", "object_key", "operation", "args", "oneway", "reply_node")
+    _fields = ("request_id", "object_key", "operation", "args", "oneway", "reply_node")
+
+    def __init__(
+        self,
+        request_id: int,
+        object_key: str,
+        operation: str,
+        args: Tuple,
+        oneway: bool,
+        reply_node: str,
+    ):
+        self.request_id = request_id
+        self.object_key = object_key
+        self.operation = operation
+        self.args = args
+        self.oneway = oneway
+        self.reply_node = reply_node
+
+    def __repr__(self) -> str:
+        kind = "oneway " if self.oneway else ""
+        return f"<Request #{self.request_id} {kind}{self.object_key}.{self.operation}>"
+
+
+@corba_struct
+class Reply:
+    """An invocation reply: status + value (or exception message)."""
+
+    __slots__ = ("request_id", "status", "value")
+    _fields = ("request_id", "status", "value")
+
+    def __init__(self, request_id: int, status: int, value: Any):
+        self.request_id = request_id
+        self.status = status
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"<Reply #{self.request_id} status={self.status}>"

@@ -1,0 +1,252 @@
+"""The object request broker.
+
+One ORB per node.  It provides what the paper's omniORB2 provided: servant
+registration, synchronous request/reply invocation, and oneway invocation —
+strictly one-to-one.  Multicast does not exist at this level; the NewTop
+layers implement it by invoking each member in turn (the very inefficiency
+the paper measures and attributes to the lack of a messaging service, §2.2).
+
+Invocations on a servant hosted by the *same* node bypass the network and
+marshalling entirely, matching the paper's colocated client/NSO deployment
+("request-reply message pairs m1–m6, m3–m4 will not generate any network
+traffic", §5.1.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ApplicationError, BadOperation, CommFailure, ObjectNotFound
+from repro.net.node import Node
+from repro.orb import marshal
+from repro.orb.ior import IOR
+from repro.orb.messages import (
+    GIOP_OVERHEAD,
+    Reply,
+    Request,
+    STATUS_EXCEPTION,
+    STATUS_NOT_FOUND,
+    STATUS_OK,
+)
+from repro.orb.poa import POA
+from repro.sim.futures import Future, SimTimeout
+from repro.sim.process import with_timeout
+
+__all__ = ["ORB", "DISPATCH_OVERHEAD", "LOCAL_CALL_OVERHEAD"]
+
+#: CPU seconds to demultiplex a request and locate the servant.
+DISPATCH_OVERHEAD = 40e-6
+#: CPU seconds for a colocated (same address space) invocation.
+LOCAL_CALL_OVERHEAD = 15e-6
+
+
+class ORB:
+    """Object request broker bound to one simulated node."""
+
+    SERVICE = "orb"
+
+    def __init__(self, node: Node):
+        self.node = node
+        self.sim = node.sim
+        self._adapters: Dict[str, POA] = {"RootPOA": POA(node.name)}
+        self._request_ids = itertools.count(1)
+        self._pending: Dict[int, Future] = {}
+        self._interceptors: List[Any] = []
+        node.register(self.SERVICE, self._on_message)
+
+    # ------------------------------------------------------------------
+    # servant management
+    # ------------------------------------------------------------------
+    def adapter(self, name: str = "RootPOA") -> POA:
+        poa = self._adapters.get(name)
+        if poa is None:
+            poa = POA(self.node.name, name)
+            self._adapters[name] = poa
+        return poa
+
+    def register(self, servant: Any, object_id: Optional[str] = None, adapter: str = "RootPOA") -> IOR:
+        """Activate ``servant`` and return its IOR."""
+        return self.adapter(adapter).activate(servant, object_id)
+
+    def deactivate(self, ior: IOR) -> None:
+        poa = self._adapters.get(ior.adapter)
+        if poa is not None:
+            poa.deactivate(ior.object_id)
+
+    def add_interceptor(self, interceptor: Any) -> None:
+        """Register a portable-interceptor-style observer (see §2.2)."""
+        self._interceptors.append(interceptor)
+
+    # ------------------------------------------------------------------
+    # invocation
+    # ------------------------------------------------------------------
+    def invoke(
+        self,
+        target: IOR,
+        operation: str,
+        args: Tuple = (),
+        oneway: bool = False,
+        timeout: Optional[float] = None,
+    ) -> Future:
+        """Invoke ``operation(*args)`` on the servant named by ``target``.
+
+        Returns a future with the reply value.  Oneway invocations resolve
+        (with None) as soon as the request has been handed to the transport.
+        On ``timeout`` (seconds) the future fails with :class:`CommFailure`.
+        """
+        if target.node == self.node.name:
+            return self._invoke_local(target, operation, args, oneway)
+
+        request_id = next(self._request_ids)
+        reply_node = "" if oneway else self.node.name
+        request = Request(request_id, target.key, operation, tuple(args), oneway, reply_node)
+        self._notify("on_send_request", request, target)
+        data = marshal.encode(request)
+        size = len(data) + GIOP_OVERHEAD
+
+        if oneway:
+            self.node.send(target.node, self.SERVICE, data, size)
+            done = Future(name=f"oneway:{operation}")
+            done.resolve(None)
+            return done
+
+        fut = Future(name=f"invoke:{target.node}.{operation}#{request_id}")
+        self._pending[request_id] = fut
+        self.node.send(target.node, self.SERVICE, data, size)
+        if timeout is None:
+            return fut
+        wrapped = with_timeout(self.sim, fut, timeout)
+        result = Future(name=fut.name + ":to")
+
+        def on_done(f: Future) -> None:
+            self._pending.pop(request_id, None)
+            if f.failed:
+                exc = f.exception
+                if isinstance(exc, SimTimeout):
+                    exc = CommFailure(
+                        f"no reply from {target.node} for {operation} within {timeout}s"
+                    )
+                result.fail(exc)
+            else:
+                result.resolve(f.result())
+
+        wrapped.add_done_callback(on_done)
+        return result
+
+    def _invoke_local(self, target: IOR, operation: str, args: Tuple, oneway: bool) -> Future:
+        """Colocated call: no marshalling, no network, small CPU cost."""
+        fut = Future(name=f"local:{operation}")
+        poa = self._adapters.get(target.adapter)
+        servant = poa.servant(target.object_id) if poa else None
+
+        def run() -> None:
+            if servant is None:
+                fut.fail(ObjectNotFound(target.key))
+                return
+            self._execute(servant, poa, operation, args, fut if not oneway else None)
+            if oneway and not fut.done:
+                fut.resolve(None)
+
+        self.node.execute(LOCAL_CALL_OVERHEAD, run)
+        return fut
+
+    # ------------------------------------------------------------------
+    # server side
+    # ------------------------------------------------------------------
+    def _on_message(self, src: str, payload: bytes, size: int) -> None:
+        message = marshal.decode(payload)
+        if isinstance(message, Request):
+            self._handle_request(src, message)
+        elif isinstance(message, Reply):
+            self._handle_reply(message)
+
+    def _handle_request(self, src: str, request: Request) -> None:
+        self._notify("on_receive_request", request, src)
+        adapter_name, _, object_id = request.object_key.partition("/")
+        poa = self._adapters.get(adapter_name)
+        servant = poa.servant(object_id) if poa else None
+        if servant is None:
+            if not request.oneway:
+                self._send_reply(request, STATUS_NOT_FOUND, request.object_key)
+            return
+        cost = DISPATCH_OVERHEAD + poa.servant_cost(servant, request.operation)
+        done: Optional[Future] = None
+        if not request.oneway:
+            done = Future(name=f"dispatch:{request.operation}#{request.request_id}")
+            done.add_done_callback(lambda f: self._reply_from_future(request, f))
+        self.node.execute(
+            cost, self._execute, servant, poa, request.operation, request.args, done
+        )
+
+    def _execute(
+        self,
+        servant: Any,
+        poa: POA,
+        operation: str,
+        args: Tuple,
+        done: Optional[Future],
+    ) -> None:
+        """Run the servant method; propagate its result/exception to ``done``.
+
+        A servant method may return a :class:`Future` to defer its reply —
+        the request-manager machinery in the invocation layer relies on this.
+        """
+        if operation.startswith("_"):
+            if done:
+                done.fail(BadOperation(operation))
+            return
+        method = getattr(servant, operation, None)
+        if method is None or not callable(method):
+            if done:
+                done.fail(BadOperation(f"{type(servant).__name__}.{operation}"))
+            return
+        try:
+            result = method(*args)
+        except Exception as exc:  # noqa: BLE001 - servant errors go to caller
+            if done:
+                done.fail(ApplicationError(str(exc)))
+            return
+        if done is None:
+            return
+        if isinstance(result, Future):
+            result.add_done_callback(
+                lambda f: done.fail(f.exception) if f.failed else done.resolve(f.result())
+            )
+        else:
+            done.resolve(result)
+
+    def _reply_from_future(self, request: Request, fut: Future) -> None:
+        if fut.failed:
+            self._send_reply(request, STATUS_EXCEPTION, str(fut.exception))
+        else:
+            self._send_reply(request, STATUS_OK, fut.result())
+
+    def _send_reply(self, request: Request, status: int, value: Any) -> None:
+        if not request.reply_node:
+            return
+        reply = Reply(request.request_id, status, value)
+        self._notify("on_send_reply", reply, request.reply_node)
+        data = marshal.encode(reply)
+        self.node.send(request.reply_node, self.SERVICE, data, len(data) + GIOP_OVERHEAD)
+
+    def _handle_reply(self, reply: Reply) -> None:
+        self._notify("on_receive_reply", reply, None)
+        fut = self._pending.pop(reply.request_id, None)
+        if fut is None or fut.done:
+            return
+        if reply.status == STATUS_OK:
+            fut.resolve(reply.value)
+        elif reply.status == STATUS_NOT_FOUND:
+            fut.fail(ObjectNotFound(str(reply.value)))
+        else:
+            fut.fail(ApplicationError(str(reply.value)))
+
+    # ------------------------------------------------------------------
+    # interceptors
+    # ------------------------------------------------------------------
+    def _notify(self, hook: str, message: Any, context: Any) -> None:
+        for interceptor in self._interceptors:
+            fn = getattr(interceptor, hook, None)
+            if fn is not None:
+                fn(message, context)

@@ -1,0 +1,52 @@
+"""Portable Object Adapter: servant activation and lookup."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Optional
+
+from repro.orb.ior import IOR
+
+__all__ = ["POA", "DEFAULT_SERVANT_COST"]
+
+#: CPU seconds charged for a servant method with no declared cost.
+DEFAULT_SERVANT_COST = 20e-6
+
+
+class POA:
+    """Maps object ids to servants for one adapter on one node.
+
+    A servant is any Python object; operations are its public methods.  A
+    servant may declare per-operation CPU costs via an ``OP_COSTS`` dict
+    (``{"operation": seconds}``) to model compute-heavy services.
+    """
+
+    def __init__(self, node_name: str, name: str = "RootPOA"):
+        self.node_name = node_name
+        self.name = name
+        self._servants: Dict[str, Any] = {}
+        self._ids = itertools.count(1)
+
+    def activate(self, servant: Any, object_id: Optional[str] = None) -> IOR:
+        """Register a servant and return its IOR."""
+        if object_id is None:
+            object_id = f"{type(servant).__name__.lower()}-{next(self._ids)}"
+        if object_id in self._servants:
+            raise ValueError(f"object id {object_id!r} already active in {self.name}")
+        self._servants[object_id] = servant
+        return IOR(self.node_name, self.name, object_id)
+
+    def deactivate(self, object_id: str) -> None:
+        self._servants.pop(object_id, None)
+
+    def servant(self, object_id: str) -> Optional[Any]:
+        return self._servants.get(object_id)
+
+    def servant_cost(self, servant: Any, operation: str) -> float:
+        costs = getattr(servant, "OP_COSTS", None)
+        if costs and operation in costs:
+            return costs[operation]
+        return DEFAULT_SERVANT_COST
+
+    def __len__(self) -> int:
+        return len(self._servants)

@@ -1,0 +1,75 @@
+"""Client-side smart proxies with IOGR failover.
+
+The paper (§2.2, §4.1) notes that open-group rebinding can be made
+transparent at the ORB level using the fault-tolerance standard's IOGR: if
+the primary profile is unreachable, the ORB retries the next member.  This
+module implements exactly that: a proxy that walks the IOGR's profiles,
+sticking to the first one that answers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import CommFailure, ObjectNotFound
+from repro.orb.ior import IOGR, IOR
+from repro.orb.orb import ORB
+from repro.sim.futures import Future
+
+__all__ = ["GroupProxy"]
+
+
+class GroupProxy:
+    """Invokes through an IOGR, failing over between member profiles.
+
+    Failover triggers on :class:`CommFailure` (node unreachable / reply
+    timeout) and :class:`ObjectNotFound` (stale profile).  Application
+    exceptions do **not** trigger failover — the object answered.
+    """
+
+    def __init__(self, orb: ORB, iogr: IOGR, timeout: float = 0.5):
+        self.orb = orb
+        self.iogr = iogr
+        self.timeout = timeout
+        self._current = 0  # index into ordered profiles; sticky on success
+        self.failovers = 0
+
+    @property
+    def current_ref(self) -> IOR:
+        return self._profiles()[self._current]
+
+    def _profiles(self) -> List[IOR]:
+        return self.iogr.ordered_profiles()
+
+    def invoke(self, operation: str, args: Tuple = (), oneway: bool = False) -> Future:
+        """Invoke with transparent failover across the group's profiles."""
+        result = Future(name=f"groupproxy:{operation}")
+        self._attempt(operation, tuple(args), oneway, result, attempts=0)
+        return result
+
+    def _attempt(
+        self,
+        operation: str,
+        args: Tuple,
+        oneway: bool,
+        result: Future,
+        attempts: int,
+    ) -> None:
+        profiles = self._profiles()
+        if attempts >= len(profiles):
+            result.fail(CommFailure(f"all {len(profiles)} group profiles failed"))
+            return
+        target = profiles[self._current]
+        fut = self.orb.invoke(target, operation, args, oneway=oneway, timeout=self.timeout)
+
+        def on_done(f: Future) -> None:
+            if f.failed and isinstance(f.exception, (CommFailure, ObjectNotFound)):
+                self._current = (self._current + 1) % len(profiles)
+                self.failovers += 1
+                self._attempt(operation, args, oneway, result, attempts + 1)
+            elif f.failed:
+                result.fail(f.exception)
+            else:
+                result.resolve(f.result())
+
+        fut.add_done_callback(on_done)

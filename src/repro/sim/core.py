@@ -1,0 +1,179 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately small: a virtual clock, a priority queue of
+scheduled callbacks, and deterministic tie-breaking.  Everything above it
+(network, ORB, group protocols) is written as event handlers and
+generator-based processes (see :mod:`repro.sim.process`).
+
+Determinism matters for a protocol testbed: two runs with the same seed must
+produce identical histories.  The kernel therefore breaks timestamp ties by
+insertion order, and all randomness flows through named, seeded streams
+(:mod:`repro.sim.rng`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.sim.rng import RngRegistry
+
+__all__ = ["Simulator", "ScheduledEvent", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g. scheduling in the past)."""
+
+
+class ScheduledEvent:
+    """Handle for a scheduled callback; supports cancellation.
+
+    Cancellation is O(1): the entry stays in the heap but is skipped when it
+    reaches the head.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: Tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<ScheduledEvent t={self.time:.6f} {self.fn!r} {state}>"
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Typical use::
+
+        sim = Simulator(seed=42)
+        sim.schedule(1.0, print, "one virtual second later")
+        sim.run()
+
+    Time is in **seconds** (floats).  Milliseconds in reports are derived.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._now = 0.0
+        self._queue: List[ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._rngs = RngRegistry(seed)
+        self.seed = seed
+        self._running = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time, in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far (for diagnostics)."""
+        return self._events_processed
+
+    # ------------------------------------------------------------------
+    # randomness
+    # ------------------------------------------------------------------
+    def rng(self, name: str):
+        """Return the named deterministic random stream."""
+        return self._rngs.stream(name)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> ScheduledEvent:
+        """Run ``fn(*args)`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable, *args: Any) -> ScheduledEvent:
+        """Run ``fn(*args)`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before now={self._now}"
+            )
+        ev = ScheduledEvent(time, next(self._seq), fn, args)
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    def call_soon(self, fn: Callable, *args: Any) -> ScheduledEvent:
+        """Run ``fn(*args)`` at the current time, after pending same-time events."""
+        return self.schedule(0.0, fn, *args)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending event.  Return False if the queue is empty."""
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            self._now = ev.time
+            self._events_processed += 1
+            ev.fn(*ev.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` callbacks have executed.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the queue drained earlier, so repeated ``run(until=...)``
+        calls see a monotonically advancing clock.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                ev = self._queue[0]
+                if ev.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and ev.time > until:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                heapq.heappop(self._queue)
+                self._now = ev.time
+                self._events_processed += 1
+                executed += 1
+                ev.fn(*ev.args)
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or None if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def pending_count(self) -> int:
+        """Number of non-cancelled scheduled events (O(n); diagnostics only)."""
+        return sum(1 for ev in self._queue if not ev.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Simulator t={self._now:.6f} pending={len(self._queue)}>"

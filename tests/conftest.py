@@ -1,0 +1,83 @@
+"""Shared test fixtures: simulated clusters with ORBs and NewTop services."""
+
+from typing import Dict, List, Optional
+
+import pytest
+
+from repro.groupcomm import GroupCommService
+from repro.net import Network, Topology
+from repro.orb import ORB
+from repro.sim import Simulator
+
+
+class Cluster:
+    """N nodes on one topology, each with an ORB and a GroupCommService."""
+
+    def __init__(
+        self,
+        count: int = 3,
+        topology: Optional[Topology] = None,
+        seed: int = 1,
+        sites: Optional[List[str]] = None,
+        prefix: str = "n",
+    ):
+        self.sim = Simulator(seed=seed)
+        self.topology = topology or Topology.single_lan()
+        self.net = Network(self.sim, self.topology)
+        self.names: List[str] = []
+        self.orbs: Dict[str, ORB] = {}
+        self.services: Dict[str, GroupCommService] = {}
+        for i in range(count):
+            name = f"{prefix}{i}"
+            site = sites[i] if sites else self.topology.sites[0]
+            node = self.net.new_node(name, site)
+            orb = ORB(node)
+            self.names.append(name)
+            self.orbs[name] = orb
+            self.services[name] = GroupCommService(orb)
+
+    def service(self, index: int) -> GroupCommService:
+        return self.services[self.names[index]]
+
+    def orb(self, index: int) -> ORB:
+        return self.orbs[self.names[index]]
+
+    def run(self, duration: float) -> None:
+        self.sim.run(until=self.sim.now + duration)
+
+    def run_all(self) -> None:
+        self.sim.run()
+
+
+class Collector:
+    """Listener recording deliveries and views for one session."""
+
+    def __init__(self, session=None):
+        self.deliveries = []
+        self.views = []
+        if session is not None:
+            self.attach(session)
+
+    def attach(self, session) -> None:
+        session.on_deliver = self.on_deliver
+        session.on_view = self.on_view
+
+    def on_deliver(self, sender, payload) -> None:
+        self.deliveries.append((sender, payload))
+
+    def on_view(self, view, joined, left) -> None:
+        self.views.append((view, list(joined), list(left)))
+
+    @property
+    def payloads(self):
+        return [payload for _sender, payload in self.deliveries]
+
+
+@pytest.fixture
+def cluster():
+    return Cluster
+
+
+@pytest.fixture
+def collector():
+    return Collector

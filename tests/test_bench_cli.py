@@ -1,0 +1,36 @@
+"""Tests for the command-line experiment runner (python -m repro.bench)."""
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, main
+
+
+def test_list_exits_zero(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_no_args_prints_listing(capsys):
+    assert main([]) == 0
+    assert "experiments:" in capsys.readouterr().out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["teleport"])
+
+
+def test_table1_runs_and_prints(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_REPORT", str(tmp_path / "report.txt"))
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "client and server on LAN" in out
+    assert (tmp_path / "report.txt").exists()
+
+
+def test_config_choice_validated():
+    with pytest.raises(SystemExit):
+        main(["peer", "--config", "moonbase"])

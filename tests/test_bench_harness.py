@@ -1,0 +1,111 @@
+"""Smoke tests for the benchmark harness (small parameters)."""
+
+import pytest
+
+from repro.bench import (
+    Environment,
+    LatencySample,
+    Point,
+    Series,
+    corba_baseline,
+    format_graph,
+    format_table,
+    peer_point,
+    request_reply_point,
+    summarize,
+)
+from repro.bench.env import REQUEST_REPLY_CONFIGS, _client_site, _server_site
+from repro.core import BindingStyle, Mode
+from repro.groupcomm import Ordering
+
+
+class TestStats:
+    def test_summarize_basic(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats["count"] == 4
+        assert stats["mean"] == 2.5
+        assert stats["median"] == 2.5
+        assert stats["min"] == 1.0 and stats["max"] == 4.0
+
+    def test_summarize_empty(self):
+        assert summarize([])["count"] == 0
+
+    def test_latency_sample_ms(self):
+        sample = LatencySample()
+        sample.add(0.001)
+        sample.add(0.003)
+        assert sample.mean_ms == pytest.approx(2.0)
+
+    def test_series_and_points(self):
+        series = Series("x")
+        series.add(Point(1, 2.0, 100.0))
+        series.add(Point(2, 3.0, 150.0))
+        assert series.latency_curve() == [(1, 2.0), (2, 3.0)]
+        assert series.throughput_curve() == [(1, 100.0), (2, 150.0)]
+        assert series.at(2).latency_ms == 3.0
+        assert series.at(9) is None
+
+
+class TestReport:
+    def test_format_table(self):
+        text = format_table(["a", "b"], [(1, 2.5), ("x", 100.0)], title="T")
+        assert "T" in text and "2.50" in text and "100" in text
+
+    def test_format_graph_merges_series(self):
+        s1, s2 = Series("one"), Series("two")
+        s1.add(Point(1, 5.0, 10.0))
+        s2.add(Point(2, 7.0, 20.0))
+        text = format_graph("G", [s1, s2], metric="latency")
+        assert "one" in text and "two" in text and "-" in text
+
+
+class TestEnvironment:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            Environment(config="moon")
+        for config in REQUEST_REPLY_CONFIGS:
+            Environment(config=config)
+
+    def test_site_placement(self):
+        assert _server_site("lan", 2) == "newcastle"
+        assert _server_site("mixed", 1) == "newcastle"
+        assert _server_site("wan", 1) == "london"
+        assert _client_site("lan", 0) == "newcastle"
+        assert {_client_site("mixed", i) for i in range(4)} == {"london", "pisa"}
+        # wan clients are offset from same-index servers
+        assert _client_site("wan", 0) != _server_site("wan", 0)
+
+    def test_serve_replicas(self):
+        from repro.apps import RandomNumberServant
+
+        env = Environment(config="lan", seed=5)
+        servers = env.serve_replicas("svc", RandomNumberServant, 2)
+        assert len(servers) == 2
+        assert set(servers[0].members) == {"s0", "s1"}
+
+
+class TestHarnessSmoke:
+    def test_corba_baseline_lan_faster_than_wan(self):
+        lan = corba_baseline("newcastle", "newcastle", requests=30)
+        wan = corba_baseline("pisa", "newcastle", requests=30)
+        assert lan.latency_ms < wan.latency_ms
+        assert lan.throughput > wan.throughput
+
+    def test_request_reply_point_smoke(self):
+        point = request_reply_point(
+            "lan",
+            2,
+            replicas=2,
+            style=BindingStyle.OPEN,
+            mode=Mode.FIRST,
+            requests=10,
+        )
+        assert point.latency_ms > 0
+        assert point.throughput > 0
+        assert point.detail["errors"] == 0
+        assert point.detail["requests"] == 20
+
+    def test_peer_point_smoke(self):
+        point = peer_point("lan", 3, Ordering.SYMMETRIC, multicasts=8)
+        assert point.latency_ms > 0
+        assert point.throughput > 0

@@ -1,0 +1,368 @@
+"""Invocation-layer tests: closed/open bindings, modes, failures, g2g."""
+
+import pytest
+
+from repro.core import BindingStyle, Mode, ReplicationPolicy
+from repro.errors import ApplicationError, BindingBroken
+from repro.groupcomm import GroupConfig, Liveliness, Ordering
+from repro.sim import run_process
+from tests.core_helpers import AppCluster, Counter
+
+
+LIVELY_FAST = GroupConfig(
+    ordering=Ordering.ASYMMETRIC,
+    liveliness=Liveliness.LIVELY,
+    silence_period=20e-3,
+    suspicion_timeout=100e-3,
+)
+
+
+def bound_binding(cluster, **kwargs):
+    binding = cluster.client(0).bind("svc", **kwargs)
+    cluster.run(1.0)
+    assert binding.ready.done, "binding did not become ready"
+    return binding
+
+
+# ---------------------------------------------------------------------------
+# closed groups
+# ---------------------------------------------------------------------------
+def test_closed_wait_all_gets_reply_from_every_server():
+    c = AppCluster(servers=3, clients=1)
+    c.serve_all("svc", Counter)
+    binding = bound_binding(c, style=BindingStyle.CLOSED)
+
+    def proc():
+        result = yield binding.invoke("incr", (5,), mode=Mode.ALL)
+        return result
+
+    result = run_process(c.sim, proc(), until=c.sim.now + 2.0)
+    assert len(result) == 3
+    assert set(result.by_member()) == {"s0", "s1", "s2"}
+    assert result.values() == [5, 5, 5]
+
+
+def test_closed_wait_first_and_majority_counts():
+    c = AppCluster(servers=3, clients=1)
+    c.serve_all("svc", Counter)
+    binding = bound_binding(c, style=BindingStyle.CLOSED)
+
+    def proc():
+        first = yield binding.invoke("get", (), mode=Mode.FIRST)
+        majority = yield binding.invoke("get", (), mode=Mode.MAJORITY)
+        return first, majority
+
+    first, majority = run_process(c.sim, proc(), until=c.sim.now + 2.0)
+    assert len(first) >= 1
+    assert len(majority) >= 2
+
+
+def test_closed_one_way_executes_everywhere_without_reply():
+    c = AppCluster(servers=3, clients=1)
+    servers = c.serve_all("svc", Counter)
+    binding = bound_binding(c, style=BindingStyle.CLOSED)
+    fut = binding.invoke("incr", (1,), mode=Mode.ONE_WAY)
+    assert fut.done and fut.result() is None
+    c.run(1.0)
+    assert [s.servant.value for s in servers] == [1, 1, 1]
+
+
+def test_closed_active_replicas_stay_consistent_under_two_clients():
+    c = AppCluster(servers=3, clients=2)
+    servers = c.serve_all("svc", Counter)
+    b0 = bound_binding(c, style=BindingStyle.CLOSED)
+    b1 = c.client(1).bind("svc", style=BindingStyle.CLOSED)
+    c.run(1.0)
+    assert b1.ready.done
+
+    def client_proc(binding, n):
+        for _ in range(n):
+            yield binding.invoke("incr", (1,), mode=Mode.ALL)
+
+    from repro.sim import spawn
+
+    p0 = spawn(c.sim, client_proc(b0, 10))
+    p1 = spawn(c.sim, client_proc(b1, 10))
+    c.run(5.0)
+    assert p0.done and p1.done
+    values = [s.servant.value for s in servers]
+    assert values == [20, 20, 20]
+
+
+def test_closed_masks_server_failure():
+    c = AppCluster(servers=3, clients=1)
+    c.serve_all("svc", Counter, config=LIVELY_FAST)
+    binding = bound_binding(
+        c, style=BindingStyle.CLOSED, liveliness=Liveliness.LIVELY
+    )
+    c.net.crash("s2")
+    fut = binding.invoke("incr", (1,), mode=Mode.ALL)
+    c.run(3.0)
+    # the crashed server is removed from the view; ALL = the two survivors
+    assert fut.done and not fut.failed
+    assert len(fut.result()) == 2
+    assert binding.rebinds == 0  # no rebinding needed in closed groups
+
+
+# ---------------------------------------------------------------------------
+# open groups
+# ---------------------------------------------------------------------------
+def test_open_binding_uses_designated_manager():
+    c = AppCluster(servers=3, clients=1)
+    c.serve_all("svc", Counter)
+    binding = bound_binding(c, style=BindingStyle.OPEN, restricted=True)
+    assert binding.manager == "s0"  # restricted: the server group's head
+
+    def proc():
+        result = yield binding.invoke("incr", (2,), mode=Mode.ALL)
+        return result
+
+    result = run_process(c.sim, proc(), until=c.sim.now + 2.0)
+    assert len(result) == 3
+    assert result.values() == [2, 2, 2]
+
+
+def test_open_client_group_has_exactly_two_members():
+    c = AppCluster(servers=3, clients=1)
+    c.serve_all("svc", Counter)
+    binding = bound_binding(c, style=BindingStyle.OPEN)
+    gc = c.client(0).gcs.session(binding.group_name)
+    assert sorted(gc.view.members) == ["c0", "s0"]
+
+
+def test_open_wait_first():
+    c = AppCluster(servers=3, clients=1)
+    c.serve_all("svc", Counter)
+    binding = bound_binding(c, style=BindingStyle.OPEN)
+
+    def proc():
+        value = yield binding.call("incr", (3,), mode=Mode.FIRST)
+        return value
+
+    assert run_process(c.sim, proc(), until=c.sim.now + 2.0) == 3
+
+
+def test_open_manager_failure_rebinds_and_retries():
+    c = AppCluster(servers=3, clients=1)
+    servers = c.serve_all("svc", Counter, config=LIVELY_FAST)
+    binding = bound_binding(
+        c, style=BindingStyle.OPEN, restricted=True, liveliness=Liveliness.LIVELY
+    )
+    assert binding.manager == "s0"
+
+    def proc():
+        yield binding.invoke("incr", (1,), mode=Mode.ALL)
+
+    run_process(c.sim, proc(), until=c.sim.now + 2.0)
+    c.net.crash("s0")
+    fut = binding.invoke("incr", (1,), mode=Mode.MAJORITY)
+    c.run(5.0)
+    assert fut.done and not fut.failed
+    assert binding.rebinds >= 1
+    assert binding.manager in ("s1", "s2")
+    # no double execution despite the retry: survivors agree on value 2
+    assert [s.servant.value for s in servers[1:]] == [2, 2]
+
+
+def test_open_no_auto_rebind_breaks_binding():
+    c = AppCluster(servers=2, clients=1)
+    c.serve_all("svc", Counter, config=LIVELY_FAST)
+    binding = bound_binding(
+        c,
+        style=BindingStyle.OPEN,
+        restricted=True,
+        auto_rebind=False,
+        liveliness=Liveliness.LIVELY,
+    )
+    c.net.crash("s0")
+    fut = binding.invoke("get", (), mode=Mode.FIRST)
+    c.run(3.0)
+    assert fut.failed and isinstance(fut.exception, BindingBroken)
+
+
+def test_unrestricted_manager_is_some_member():
+    c = AppCluster(servers=3, clients=1)
+    c.serve_all("svc", Counter)
+    binding = bound_binding(c, style=BindingStyle.OPEN, restricted=False)
+    assert binding.manager in ("s0", "s1", "s2")
+
+
+def test_manager_override():
+    c = AppCluster(servers=3, clients=1)
+    c.serve_all("svc", Counter)
+    binding = bound_binding(c, style=BindingStyle.OPEN, manager="s1")
+    assert binding.manager == "s1"
+
+
+# ---------------------------------------------------------------------------
+# optimisations: async forwarding / passive replication
+# ---------------------------------------------------------------------------
+def test_async_forwarding_wait_first_single_reply():
+    c = AppCluster(servers=3, clients=1)
+    servers = c.serve_all("svc", Counter, async_forwarding=True)
+    binding = bound_binding(c, style=BindingStyle.OPEN, restricted=True)
+
+    def proc():
+        result = yield binding.invoke("incr", (1,), mode=Mode.FIRST)
+        return result
+
+    result = run_process(c.sim, proc(), until=c.sim.now + 2.0)
+    assert len(result) == 1
+    assert result.replies[0].member == "s0"
+    c.run(1.0)
+    # the one-way forward still executed at the other members (active)
+    assert [s.servant.value for s in servers] == [1, 1, 1]
+
+
+def test_passive_replication_primary_executes_backups_track_state():
+    c = AppCluster(servers=3, clients=1)
+    servers = c.serve_all(
+        "svc", Counter, policy=ReplicationPolicy.PASSIVE, async_forwarding=True
+    )
+    binding = bound_binding(c, style=BindingStyle.OPEN, restricted=True)
+
+    def proc():
+        for _ in range(3):
+            yield binding.invoke("incr", (1,), mode=Mode.FIRST)
+
+    run_process(c.sim, proc(), until=c.sim.now + 3.0)
+    assert servers[0].is_primary
+    c.run(1.0)
+    # backups received state updates without executing
+    assert [s.servant.value for s in servers] == [3, 3, 3]
+
+
+def test_passive_failover_preserves_state():
+    c = AppCluster(servers=3, clients=1)
+    servers = c.serve_all(
+        "svc",
+        Counter,
+        policy=ReplicationPolicy.PASSIVE,
+        async_forwarding=True,
+        config=LIVELY_FAST,
+    )
+    binding = bound_binding(
+        c, style=BindingStyle.OPEN, restricted=True, liveliness=Liveliness.LIVELY
+    )
+
+    def proc():
+        for _ in range(3):
+            yield binding.invoke("incr", (1,), mode=Mode.FIRST)
+
+    run_process(c.sim, proc(), until=c.sim.now + 3.0)
+    c.net.crash("s0")
+    fut = binding.invoke("incr", (1,), mode=Mode.FIRST)
+    c.run(5.0)
+    assert fut.done and not fut.failed
+    assert fut.result().value == 4  # state carried over: 3 + 1
+    assert servers[1].is_primary or servers[2].is_primary
+
+
+# ---------------------------------------------------------------------------
+# errors and edge cases
+# ---------------------------------------------------------------------------
+def test_servant_exception_reaches_client():
+    c = AppCluster(servers=2, clients=1)
+    c.serve_all("svc", Counter)
+    binding = bound_binding(c, style=BindingStyle.OPEN)
+
+    def proc():
+        result = yield binding.invoke("fail", (), mode=Mode.FIRST)
+        return result
+
+    result = run_process(c.sim, proc(), until=c.sim.now + 2.0)
+    assert not result.replies[0].ok
+    with pytest.raises(ApplicationError):
+        _ = result.value
+
+
+def test_bind_to_unknown_service_fails():
+    c = AppCluster(servers=1, clients=1)
+    binding = c.client(0).bind("nosuch")
+    c.run(1.0)
+    assert binding.ready.failed
+
+
+def test_invoke_timeout():
+    from repro.errors import CommFailure
+
+    c = AppCluster(servers=2, clients=1)
+    c.serve_all("svc", Counter)
+    binding = bound_binding(c, style=BindingStyle.OPEN)
+    c.net.crash("s0")  # manager dead, event-driven: no detection, no reply
+    fut = binding.invoke("get", (), mode=Mode.FIRST, timeout=0.5)
+    c.run(2.0)
+    assert fut.failed and isinstance(fut.exception, CommFailure)
+
+
+def test_closed_binding_close_releases_servers():
+    c = AppCluster(servers=2, clients=1)
+    c.serve_all("svc", Counter)
+    binding = bound_binding(c, style=BindingStyle.CLOSED)
+    gc_name = binding.group_name
+    binding.close()
+    c.run(2.0)
+    # servers noticed the client's departure and left the disbanded group
+    assert c.server(0).gcs.session(gc_name) is None
+    assert c.server(1).gcs.session(gc_name) is None
+
+
+def test_joining_server_receives_state_transfer():
+    c = AppCluster(servers=3, clients=1)
+    # start only two members first
+    s0 = c.server(0).serve("svc", Counter())
+    c.run(0.3)
+    s1 = c.server(1).serve("svc", Counter())
+    c.run(0.5)
+    binding = bound_binding(c, style=BindingStyle.OPEN)
+
+    def proc():
+        for _ in range(4):
+            yield binding.invoke("incr", (1,), mode=Mode.ALL)
+
+    run_process(c.sim, proc(), until=c.sim.now + 3.0)
+    late = c.server(2).serve("svc", Counter())
+    c.run(2.0)
+    assert late.ready.done
+    assert late.servant.value == 4  # state transferred on join
+
+
+# ---------------------------------------------------------------------------
+# group-to-group
+# ---------------------------------------------------------------------------
+def test_group_to_group_invocation():
+    c = AppCluster(servers=3, clients=2)
+    servers = c.serve_all("svc", Counter)
+    # gx = {c0, c1}: a peer group of clients
+    gx0 = c.client(0).create_peer_group("gx")
+    gx1 = c.client(1).join_peer_group("gx", "c0")
+    c.run(1.0)
+    b0 = c.client(0).bind_group_to_group("gx", ["c0", "c1"], "svc")
+    b1 = c.client(1).bind_group_to_group("gx", ["c0", "c1"], "svc")
+    c.run(1.0)
+    assert b0.ready.done and b1.ready.done
+
+    fut0 = b0.invoke("incr", (1,), mode=Mode.ALL)
+    fut1 = b1.invoke("incr", (1,), mode=Mode.ALL)
+    c.run(2.0)
+    assert fut0.done and fut1.done
+    r0, r1 = fut0.result(), fut1.result()
+    # both gx members got the full reply set, atomically
+    assert len(r0) == 3 and len(r1) == 3
+    # the manager filtered duplicates: the call executed exactly once
+    assert [s.servant.value for s in servers] == [1, 1, 1]
+
+
+def test_group_to_group_one_way():
+    c = AppCluster(servers=2, clients=2)
+    servers = c.serve_all("svc", Counter)
+    c.client(0).create_peer_group("gx")
+    c.client(1).join_peer_group("gx", "c0")
+    c.run(1.0)
+    b0 = c.client(0).bind_group_to_group("gx", ["c0", "c1"], "svc")
+    b1 = c.client(1).bind_group_to_group("gx", ["c0", "c1"], "svc")
+    c.run(1.0)
+    b0.invoke("incr", (5,), mode=Mode.ONE_WAY)
+    b1.invoke("incr", (5,), mode=Mode.ONE_WAY)
+    c.run(2.0)
+    assert [s.servant.value for s in servers] == [5, 5]

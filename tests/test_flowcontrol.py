@@ -1,0 +1,93 @@
+"""Tests for sender-side flow control."""
+
+import pytest
+
+from repro.groupcomm import GroupConfig, Ordering
+from repro.groupcomm.flowcontrol import FlowController
+from tests.conftest import Cluster, Collector
+from tests.test_groupcomm_basic import build_group
+
+
+class TestFlowControllerUnit:
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            FlowController(0)
+        with pytest.raises(ValueError):
+            GroupConfig(send_window=0)
+
+    def test_acquire_until_window_full(self):
+        flow = FlowController(2)
+        assert flow.try_acquire("a")
+        assert flow.try_acquire("b")
+        assert not flow.try_acquire("c")
+        assert flow.in_flight == 2
+        assert flow.queued == 1
+        assert flow.sends_delayed == 1
+
+    def test_release_frees_slots_for_drain(self):
+        flow = FlowController(1)
+        assert flow.try_acquire("a")
+        assert not flow.try_acquire("b")
+        assert flow.drain() is None  # window still full
+        flow.release()
+        assert flow.drain() == "b"
+        assert flow.in_flight == 1
+        assert flow.drain() is None
+
+    def test_release_never_goes_negative(self):
+        flow = FlowController(2)
+        flow.release(5)
+        assert flow.in_flight == 0
+
+    def test_reset_and_pop_queued(self):
+        flow = FlowController(1)
+        flow.try_acquire("a")
+        flow.try_acquire("b")
+        flow.try_acquire("c")
+        assert flow.pop_all_queued() == ["b", "c"]
+        flow.reset()
+        assert flow.in_flight == 0 and flow.queued == 0
+
+
+class TestFlowControlIntegration:
+    def test_burst_beyond_window_still_delivers_everything_in_order(self):
+        c = Cluster(3)
+        config = GroupConfig(ordering=Ordering.ASYMMETRIC, send_window=4)
+        sessions = build_group(c, config)
+        col = Collector(sessions[1])
+        for i in range(40):  # 10x the window, in one burst
+            sessions[0].send(i)
+        assert sessions[0].flow.sends_delayed > 0
+        c.run(3.0)
+        assert col.payloads == list(range(40))
+        assert sessions[0].flow.in_flight <= 4
+
+    def test_window_bounds_unstable_buffer(self):
+        c = Cluster(3)
+        config = GroupConfig(ordering=Ordering.ASYMMETRIC, send_window=4)
+        sessions = build_group(c, config)
+        for i in range(30):
+            sessions[0].send(i)
+        # before any acks return, at most `window` own messages are unstable
+        own = [m for m in sessions[0].unstable.values() if m.sender == "n0"]
+        assert len(own) <= 4
+
+    def test_view_change_mid_burst_loses_nothing(self):
+        from repro.groupcomm import Liveliness
+
+        c = Cluster(3)
+        config = GroupConfig(
+            ordering=Ordering.ASYMMETRIC,
+            send_window=4,
+            liveliness=Liveliness.LIVELY,
+            silence_period=20e-3,
+            suspicion_timeout=100e-3,
+        )
+        sessions = build_group(c, config)
+        col = Collector(sessions[1])
+        for i in range(20):
+            sessions[0].send(i)
+        c.run(2e-3)
+        c.net.crash("n2")  # forces a flush while sends are still queued
+        c.run(3.0)
+        assert col.payloads == list(range(20))

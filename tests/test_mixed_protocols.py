@@ -1,0 +1,96 @@
+"""Mixed-protocol and multi-group scenarios the paper calls out explicitly.
+
+§2.1: "Both symmetric and asymmetric total order protocols are supported,
+permitting a member to use say symmetric version in one group and
+asymmetric version in another group simultaneously."
+"""
+
+import pytest
+
+from repro.groupcomm import GroupConfig, Liveliness, Ordering
+from tests.conftest import Cluster, Collector
+from tests.test_groupcomm_basic import build_group
+
+
+def test_member_runs_symmetric_and_asymmetric_groups_simultaneously():
+    c = Cluster(3)
+    sym_sessions = build_group(c, GroupConfig(ordering=Ordering.SYMMETRIC), group="gsym")
+    asym_sessions = build_group(
+        c, GroupConfig(ordering=Ordering.ASYMMETRIC), group="gasym"
+    )
+    sym_cols = [Collector(s) for s in sym_sessions]
+    asym_cols = [Collector(s) for s in asym_sessions]
+    for i in range(5):
+        sym_sessions[i % 3].send(f"sym-{i}")
+        asym_sessions[(i + 1) % 3].send(f"asym-{i}")
+    c.run(2.0)
+    assert all(len(col.deliveries) == 5 for col in sym_cols + asym_cols)
+    assert all(col.deliveries == sym_cols[0].deliveries for col in sym_cols)
+    assert all(col.deliveries == asym_cols[0].deliveries for col in asym_cols)
+
+
+def test_ten_overlapping_groups_on_one_nso():
+    """'There is no limit to the number of client/server groups a client may
+    form' (§2.1): one hub member participates in many groups at once."""
+    c = Cluster(6)
+    hub = c.service(0)
+    sessions = {}
+    collectors = {}
+    for g in range(10):
+        name = f"g{g}"
+        ordering = Ordering.SYMMETRIC if g % 2 == 0 else Ordering.ASYMMETRIC
+        peer = c.names[1 + g % 5]
+        sessions[name] = c.services[peer].create_group(
+            name, GroupConfig(ordering=ordering)
+        )
+        hub_session = hub.join_group(name, peer)
+        collectors[name] = Collector(hub_session)
+        c.run(0.3)
+    c.run(1.0)
+    for name, session in sessions.items():
+        session.send(f"hello-{name}")
+    c.run(2.0)
+    for name, col in collectors.items():
+        assert col.payloads == [f"hello-{name}"], name
+
+
+def test_causal_group_alongside_total_groups():
+    c = Cluster(2)
+    causal = build_group(c, GroupConfig(ordering=Ordering.CAUSAL), group="gc")
+    total = build_group(c, GroupConfig(ordering=Ordering.SYMMETRIC), group="gt")
+    col_c = Collector(causal[1])
+    col_t = Collector(total[1])
+    causal[0].send("c1")
+    total[0].send("t1")
+    causal[0].send("c2")
+    c.run(1.0)
+    assert col_c.payloads == ["c1", "c2"]
+    assert col_t.payloads == ["t1"]
+
+
+def test_open_and_closed_bindings_used_simultaneously():
+    """§2.1: 'the open and closed group approaches may be used
+    simultaneously by both clients and members of a server group.'"""
+    from repro.core import BindingStyle, Mode
+    from repro.sim import all_of, spawn
+    from tests.core_helpers import AppCluster, Counter
+
+    c = AppCluster(servers=3, clients=2)
+    servers = c.serve_all("svc", Counter)
+    closed = c.client(0).bind("svc", style=BindingStyle.CLOSED)
+    open_ = c.client(1).bind("svc", style=BindingStyle.OPEN)
+    c.run(1.0)
+    assert closed.ready.done and open_.ready.done
+
+    def workload():
+        futures = []
+        for _ in range(5):
+            futures.append(closed.invoke("incr", (1,), mode=Mode.ALL))
+            futures.append(open_.invoke("incr", (1,), mode=Mode.ALL))
+        yield all_of(futures)
+
+    proc = spawn(c.sim, workload())
+    c.run(5.0)
+    assert proc.done
+    # both paths ordered through the same server group: replicas agree
+    assert [s.servant.value for s in servers] == [10, 10, 10]

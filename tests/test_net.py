@@ -1,0 +1,263 @@
+"""Tests for the network substrate: topology, latency, CPU, partitions."""
+
+import pytest
+
+from repro.net import (
+    CpuProfile,
+    FixedLatency,
+    JitteredLatency,
+    Network,
+    Node,
+    Topology,
+)
+from repro.sim import Simulator
+
+
+def make_lan(sim=None):
+    sim = sim or Simulator(seed=1)
+    net = Network(sim, Topology.single_lan())
+    return sim, net
+
+
+def test_fixed_latency_is_constant():
+    sim = Simulator()
+    model = FixedLatency(0.01)
+    assert model.sample(sim.rng("x")) == 0.01
+    assert model.mean == 0.01
+
+
+def test_jittered_latency_within_bounds():
+    sim = Simulator()
+    rng = sim.rng("lat")
+    model = JitteredLatency(10e-3, jitter=0.2)
+    samples = [model.sample(rng) for _ in range(1000)]
+    assert all(5e-3 <= s <= 30e-3 for s in samples)
+    mean = sum(samples) / len(samples)
+    assert abs(mean - 10e-3) < 1e-3
+
+
+def test_latency_validation():
+    with pytest.raises(ValueError):
+        FixedLatency(-1)
+    with pytest.raises(ValueError):
+        JitteredLatency(0)
+
+
+def test_topology_intra_vs_inter_links():
+    topo = Topology.paper_wan()
+    lan = topo.link("newcastle", "newcastle")
+    wan = topo.link("newcastle", "pisa")
+    assert lan.latency.mean < 1e-3
+    assert wan.latency.mean > 5e-3
+    # symmetric lookup
+    assert topo.link("pisa", "newcastle") is wan
+
+
+def test_topology_unknown_site_rejected():
+    topo = Topology.single_lan()
+    with pytest.raises(KeyError):
+        topo.link("lan", "mars")
+
+
+def test_topology_missing_link_uses_default_wan():
+    topo = Topology()
+    topo.add_site("a")
+    topo.add_site("b")
+    with pytest.raises(KeyError):
+        topo.link("a", "b")
+    topo.set_default_wan(FixedLatency(0.02))
+    assert topo.link("a", "b").latency.mean == 0.02
+
+
+def test_duplicate_site_rejected():
+    topo = Topology()
+    topo.add_site("a")
+    with pytest.raises(ValueError):
+        topo.add_site("a")
+
+
+def test_message_delivery_between_nodes():
+    sim, net = make_lan()
+    a = net.new_node("a", "lan")
+    b = net.new_node("b", "lan")
+    received = []
+    b.register("test", lambda src, payload, size: received.append((src, payload)))
+    a.send("b", "test", b"hello", 100)
+    sim.run()
+    assert received == [("a", b"hello")]
+    assert sim.now > 0  # latency + cpu elapsed
+
+
+def test_delivery_pays_latency_and_cpu():
+    sim = Simulator(seed=1)
+    topo = Topology()
+    topo.add_site("lan", FixedLatency(1e-3))
+    net = Network(sim, topo)
+    a = net.new_node("a", "lan", cpu=CpuProfile(send_overhead=1e-4, recv_overhead=1e-4, per_byte=0))
+    b = net.new_node("b", "lan", cpu=CpuProfile(send_overhead=1e-4, recv_overhead=1e-4, per_byte=0))
+    times = []
+    b.register("test", lambda *_: times.append(sim.now))
+    a.send("b", "test", b"", 0)
+    sim.run()
+    # send cpu (0.1ms) + latency (1ms) + recv cpu (0.1ms)
+    assert times[0] == pytest.approx(1.2e-3, rel=1e-6)
+
+
+def test_fifo_per_link_pair():
+    sim, net = make_lan()
+    a = net.new_node("a", "lan")
+    b = net.new_node("b", "lan")
+    received = []
+    b.register("test", lambda src, payload, size: received.append(payload))
+    for i in range(50):
+        a.send("b", "test", i, 64)
+    sim.run()
+    assert received == list(range(50))
+
+
+def test_cpu_serialises_work():
+    sim = Simulator()
+    topo = Topology.single_lan()
+    net = Network(sim, topo)
+    node = net.new_node("n", "lan")
+    finish_times = []
+    node.execute(1.0, lambda: finish_times.append(sim.now))
+    node.execute(1.0, lambda: finish_times.append(sim.now))
+    sim.run()
+    assert finish_times == [1.0, 2.0]
+    assert node.busy_time == 2.0
+
+
+def test_cpu_utilisation():
+    sim, net = make_lan(Simulator())
+    node = net.new_node("n", "lan")
+    node.execute(2.0, lambda: None)
+    sim.run()
+    assert node.utilisation(4.0) == pytest.approx(0.5)
+    assert node.utilisation(0.0) == 0.0
+
+
+def test_crash_drops_inbound_and_queued_work():
+    sim, net = make_lan()
+    a = net.new_node("a", "lan")
+    b = net.new_node("b", "lan")
+    received = []
+    b.register("test", lambda src, payload, size: received.append(payload))
+    a.send("b", "test", 1, 64)
+    sim.run()
+    b.crash()
+    a.send("b", "test", 2, 64)
+    sim.run()
+    assert received == [1]
+    assert net.stats.messages_dropped >= 1
+
+
+def test_recovered_node_receives_again():
+    sim, net = make_lan()
+    a = net.new_node("a", "lan")
+    b = net.new_node("b", "lan")
+    received = []
+    b.register("test", lambda src, payload, size: received.append(payload))
+    b.crash()
+    a.send("b", "test", 1, 64)
+    sim.run()
+    b.recover()
+    a.send("b", "test", 2, 64)
+    sim.run()
+    assert received == [2]
+
+
+def test_partition_blocks_cross_group_traffic():
+    sim, net = make_lan()
+    a = net.new_node("a", "lan")
+    b = net.new_node("b", "lan")
+    c = net.new_node("c", "lan")
+    received = {name: [] for name in "abc"}
+    for node, name in ((a, "a"), (b, "b"), (c, "c")):
+        node.register("test", lambda src, payload, size, name=name: received[name].append(payload))
+    net.partition({"a", "b"})
+    a.send("b", "test", "ab", 64)
+    a.send("c", "test", "ac", 64)
+    c.send("a", "test", "ca", 64)
+    sim.run()
+    assert received["b"] == ["ab"]
+    assert received["c"] == []
+    assert received["a"] == []
+    net.heal()
+    a.send("c", "test", "ac2", 64)
+    sim.run()
+    assert received["c"] == ["ac2"]
+
+
+def test_partition_sites():
+    sim = Simulator(seed=3)
+    net = Network(sim, Topology.paper_wan())
+    a = net.new_node("a", "newcastle")
+    b = net.new_node("b", "pisa")
+    got = []
+    b.register("t", lambda *args: got.append(args[1]))
+    net.partition_sites({"newcastle", "london"}, {"pisa"})
+    a.send("b", "t", "x", 10)
+    sim.run()
+    assert got == []
+    assert not net.reachable("a", "b")
+    assert net.reachable("b", "b")
+
+
+def test_lossy_link_drops_messages():
+    sim = Simulator(seed=5)
+    topo = Topology()
+    topo.add_site("lan", FixedLatency(1e-4), loss=0.5)
+    net = Network(sim, topo)
+    a = net.new_node("a", "lan")
+    b = net.new_node("b", "lan")
+    got = []
+    b.register("t", lambda src, p, s: got.append(p))
+    for i in range(200):
+        a.send("b", "t", i, 10)
+    sim.run()
+    assert 40 < len(got) < 160  # roughly half arrive
+    assert net.stats.messages_dropped == 200 - len(got)
+
+
+def test_stats_counters():
+    sim, net = make_lan()
+    a = net.new_node("a", "lan")
+    b = net.new_node("b", "lan")
+    b.register("svc", lambda *_: None)
+    a.send("b", "svc", "x", 128)
+    sim.run()
+    snap = net.stats.snapshot()
+    assert snap["sent"] == 1
+    assert snap["delivered"] == 1
+    assert snap["bytes"] == 128
+    assert net.stats.per_service_sent["svc"] == 1
+
+
+def test_unknown_service_silently_dropped():
+    sim, net = make_lan()
+    a = net.new_node("a", "lan")
+    net.new_node("b", "lan")
+    a.send("b", "nosuch", "x", 10)
+    sim.run()  # must not raise
+
+
+def test_duplicate_node_name_rejected():
+    sim, net = make_lan()
+    net.new_node("a", "lan")
+    with pytest.raises(ValueError):
+        net.new_node("a", "lan")
+
+
+def test_node_at_unknown_site_rejected():
+    sim, net = make_lan()
+    with pytest.raises(KeyError):
+        net.attach(Node(sim, "x", "mars"))
+
+
+def test_duplicate_service_registration_rejected():
+    sim, net = make_lan()
+    a = net.new_node("a", "lan")
+    a.register("svc", lambda *_: None)
+    with pytest.raises(ValueError):
+        a.register("svc", lambda *_: None)

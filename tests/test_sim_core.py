@@ -1,0 +1,145 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    log = []
+    sim.schedule(2.0, log.append, "b")
+    sim.schedule(1.0, log.append, "a")
+    sim.schedule(3.0, log.append, "c")
+    sim.run()
+    assert log == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    log = []
+    for label in "abcde":
+        sim.schedule(1.0, log.append, label)
+    sim.run()
+    assert log == list("abcde")
+
+
+def test_run_until_stops_and_advances_clock():
+    sim = Simulator()
+    log = []
+    sim.schedule(1.0, log.append, "a")
+    sim.schedule(5.0, log.append, "b")
+    sim.run(until=2.0)
+    assert log == ["a"]
+    assert sim.now == 2.0
+    sim.run()
+    assert log == ["a", "b"]
+
+
+def test_run_until_with_empty_queue_advances_clock():
+    sim = Simulator()
+    sim.run(until=7.5)
+    assert sim.now == 7.5
+
+
+def test_cancel_prevents_execution():
+    sim = Simulator()
+    log = []
+    handle = sim.schedule(1.0, log.append, "x")
+    handle.cancel()
+    sim.run()
+    assert log == []
+
+
+def test_cannot_schedule_in_past():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_nested_scheduling_from_callback():
+    sim = Simulator()
+    log = []
+
+    def outer():
+        log.append(("outer", sim.now))
+        sim.schedule(1.0, inner)
+
+    def inner():
+        log.append(("inner", sim.now))
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert log == [("outer", 1.0), ("inner", 2.0)]
+
+
+def test_call_soon_runs_after_pending_same_time_events():
+    sim = Simulator()
+    log = []
+    sim.schedule(0.0, log.append, "first")
+    sim.call_soon(log.append, "second")
+    sim.run()
+    assert log == ["first", "second"]
+
+
+def test_step_executes_single_event():
+    sim = Simulator()
+    log = []
+    sim.schedule(1.0, log.append, "a")
+    sim.schedule(2.0, log.append, "b")
+    assert sim.step()
+    assert log == ["a"]
+    assert sim.step()
+    assert not sim.step()
+
+
+def test_peek_skips_cancelled():
+    sim = Simulator()
+    h = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    h.cancel()
+    assert sim.peek() == 2.0
+
+
+def test_max_events_bound():
+    sim = Simulator()
+    log = []
+    for i in range(10):
+        sim.schedule(float(i), log.append, i)
+    sim.run(max_events=3)
+    assert log == [0, 1, 2]
+
+
+def test_rng_streams_are_deterministic_and_independent():
+    sim1 = Simulator(seed=7)
+    sim2 = Simulator(seed=7)
+    a1 = [sim1.rng("a").random() for _ in range(5)]
+    # consuming another stream must not perturb "a"
+    sim2.rng("b").random()
+    a2 = [sim2.rng("a").random() for _ in range(5)]
+    assert a1 == a2
+
+
+def test_rng_streams_differ_across_seeds():
+    assert Simulator(seed=1).rng("a").random() != Simulator(seed=2).rng("a").random()
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+
+    def reenter():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule(1.0, reenter)
+    sim.run()

@@ -1,0 +1,100 @@
+"""Unit tests for views, group configuration, and invocation modes."""
+
+import pytest
+
+from repro.core.modes import BindingStyle, Mode, ReplicationPolicy, replies_needed
+from repro.groupcomm import GroupConfig, Liveliness, Ordering
+from repro.groupcomm.views import GroupView
+from repro.orb.marshal import decode, encode
+
+
+class TestGroupView:
+    def test_creation_and_roles(self):
+        view = GroupView("g", 3, ["b", "a", "c"])
+        assert view.coordinator == "b"  # creation order, not sorted
+        assert view.sequencer == "b"
+        assert view.rank("a") == 1
+        assert "c" in view and "z" not in view
+        assert len(view) == 3
+
+    def test_requires_members(self):
+        with pytest.raises(ValueError):
+            GroupView("g", 1, [])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            GroupView("g", 1, ["a", "a"])
+
+    def test_next_view_remove_and_add(self):
+        view = GroupView("g", 1, ["a", "b", "c"])
+        new = view.next_view(remove=["b"], add=["d"])
+        assert new.view_id == 2
+        assert new.members == ["a", "c", "d"]
+        assert new.coordinator == "a"
+
+    def test_next_view_add_existing_is_noop(self):
+        view = GroupView("g", 1, ["a", "b"])
+        assert view.next_view(add=["a"]).members == ["a", "b"]
+
+    def test_majority(self):
+        assert GroupView("g", 1, ["a"]).majority() == 1
+        assert GroupView("g", 1, list("abc")).majority() == 2
+        assert GroupView("g", 1, list("abcd")).majority() == 3
+
+    def test_equality_and_marshalling(self):
+        view = GroupView("g", 2, ["x", "y"])
+        assert decode(encode(view)) == view
+
+
+class TestGroupConfig:
+    def test_defaults(self):
+        config = GroupConfig()
+        assert config.ordering == Ordering.SYMMETRIC
+        assert config.liveliness == Liveliness.EVENT_DRIVEN
+        assert config.is_total
+
+    def test_invalid_ordering(self):
+        with pytest.raises(ValueError):
+            GroupConfig(ordering="fancy")
+
+    def test_invalid_liveliness(self):
+        with pytest.raises(ValueError):
+            GroupConfig(liveliness="sometimes")
+
+    @pytest.mark.parametrize("ordering,total", [
+        (Ordering.SYMMETRIC, True),
+        (Ordering.ASYMMETRIC, True),
+        (Ordering.CAUSAL, False),
+        (Ordering.FIFO, False),
+    ])
+    def test_is_total(self, ordering, total):
+        assert GroupConfig(ordering=ordering).is_total is total
+
+    def test_marshalling_roundtrip(self):
+        config = GroupConfig(
+            ordering=Ordering.ASYMMETRIC, sequencer_hint="s1", null_delay=2e-3
+        )
+        back = decode(encode(config))
+        assert back.ordering == Ordering.ASYMMETRIC
+        assert back.sequencer_hint == "s1"
+        assert back.null_delay == 2e-3
+
+
+class TestModes:
+    def test_replies_needed_values(self):
+        assert replies_needed(Mode.ONE_WAY, 5) == 0
+        assert replies_needed(Mode.FIRST, 5) == 1
+        assert replies_needed(Mode.MAJORITY, 5) == 3
+        assert replies_needed(Mode.MAJORITY, 4) == 3
+        assert replies_needed(Mode.ALL, 5) == 5
+
+    def test_replies_needed_validation(self):
+        with pytest.raises(ValueError):
+            replies_needed("most", 3)
+        with pytest.raises(ValueError):
+            replies_needed(Mode.ALL, 0)
+
+    def test_enumerations(self):
+        assert set(Mode.ALL_MODES) == {"one_way", "first", "majority", "all"}
+        assert set(BindingStyle.ALL_STYLES) == {"closed", "open"}
+        assert set(ReplicationPolicy.ALL_POLICIES) == {"active", "passive"}

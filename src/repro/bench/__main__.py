@@ -2,6 +2,14 @@
 
 Runs the paper's Section-5 experiments outside pytest and prints the
 paper-style tables.  ``python -m repro.bench --list`` enumerates them.
+
+Observability flags (see docs/OBSERVABILITY.md):
+
+- ``--trace [PATH]`` records a causal span trace of every simulation the
+  experiment runs — one connected tree per client invocation, stamped with
+  virtual time — and writes it as JSONL (default ``trace.jsonl``).
+- ``--metrics`` prints the merged metrics snapshot (counters, gauges,
+  latency/queue histograms) and the per-kind traffic reconciliation.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ from repro.bench.harness import (
 from repro.bench.report import print_graph, print_table
 from repro.core.modes import BindingStyle, Mode, ReplicationPolicy
 from repro.groupcomm.config import Ordering
+from repro.obs import TraceSink, configure, reconcile_traffic, render_metrics_table
 
 
 def run_table1(_args) -> None:
@@ -129,6 +138,20 @@ def main(argv=None) -> int:
         choices=[Ordering.SYMMETRIC, Ordering.ASYMMETRIC],
         help="total order protocol for closed-vs-open",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        nargs="?",
+        const="trace.jsonl",
+        default=None,
+        help="record causal span traces and write them as JSONL to PATH "
+        "(default trace.jsonl)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the merged metrics snapshot and traffic reconciliation",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiment:
@@ -138,9 +161,48 @@ def main(argv=None) -> int:
         print("\nclient sweep:", client_counts(), "(REPRO_BENCH_FULL=1 for 1..20)")
         return 0
 
+    if args.trace:
+        # fail before the experiment runs, not after minutes of simulation
+        try:
+            with open(args.trace, "w", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            parser.error(f"cannot write trace file {args.trace!r}: {exc}")
+
+    sink = None
+    if args.trace or args.metrics:
+        # every Simulator the experiment builds registers with the sink, so
+        # workload code needs no changes to be traced
+        sink = TraceSink()
+        configure(trace=args.trace is not None, sink=sink)
     fn, _description = EXPERIMENTS[args.experiment]
-    fn(args)
+    try:
+        fn(args)
+    finally:
+        configure(trace=False, sink=None)
+    if sink is not None:
+        _report_observability(sink, args)
     return 0
+
+
+def _report_observability(sink: TraceSink, args) -> None:
+    if args.trace:
+        written = sink.write_jsonl(args.trace)
+        print(f"\ntrace: wrote {written} spans from {len(sink.runs)} runs to {args.trace}")
+        dropped = sink.dropped_spans()
+        if dropped:
+            print(f"trace: WARNING {dropped} spans dropped (per-run cap)")
+    if args.metrics:
+        snapshot = sink.merged_metrics()
+        print("\n=== metrics (merged across runs) ===")
+        print(render_metrics_table(snapshot))
+        reconciliation = reconcile_traffic(snapshot)
+        if reconciliation:
+            print("\ntraffic reconciliation (gc sends vs net hops):")
+            for kind in sorted(reconciliation):
+                sent, hops = reconciliation[kind]
+                status = "ok" if sent == hops else f"MISMATCH ({sent - hops:+d})"
+                print(f"  {kind:12s} gc={sent:<8d} net={hops:<8d} {status}")
 
 
 if __name__ == "__main__":

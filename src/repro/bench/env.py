@@ -48,11 +48,12 @@ def _client_site(config: str, index: int) -> str:
 class Environment:
     """A simulated deployment: topology, nodes, NewTop services, registry."""
 
-    def __init__(self, config: str = "lan", seed: int = 42):
+    def __init__(self, config: str = "lan", seed: int = 42, obs=None):
         if config not in REQUEST_REPLY_CONFIGS:
             raise ValueError(f"unknown environment config {config!r}")
         self.config = config
-        self.sim = Simulator(seed=seed)
+        self.sim = Simulator(seed=seed, obs=obs)
+        self.obs = self.sim.obs
         if config == "lan":
             self.topology = Topology.single_lan("newcastle")
         else:

@@ -75,13 +75,19 @@ def corba_baseline(
     server_site: str,
     requests: int = 200,
     seed: int = 7,
+    obs=None,
 ) -> ExperimentPoint:
-    """A single client invoking a single plain-CORBA server."""
+    """A single client invoking a single plain-CORBA server.
+
+    ``obs`` (an :class:`repro.obs.Observability`) overrides the process-wide
+    observability defaults for this run; leave None to follow the CLI's
+    ``--trace``/``--metrics`` configuration.
+    """
     if client_site == server_site:
         topology = Topology.single_lan(client_site)
     else:
         topology = Topology.paper_wan()
-    sim = Simulator(seed=seed)
+    sim = Simulator(seed=seed, obs=obs)
     net = Network(sim, topology)
     server_orb = ORB(net.new_node("server", server_site))
     client_orb = ORB(net.new_node("client", client_site))
@@ -117,16 +123,18 @@ def request_reply_point(
     policy: str = ReplicationPolicy.ACTIVE,
     requests: Optional[int] = None,
     seed: int = 42,
+    obs=None,
 ) -> ExperimentPoint:
     """One (configuration, client-count) measurement.
 
     Builds ``replicas`` servers of the random-number service in the given
     network ``config``, attaches ``n_clients`` closed-loop clients with the
     requested binding style/ordering/mode, and measures mean request latency
-    and aggregate served throughput.
+    and aggregate served throughput.  ``obs`` injects an explicit
+    :class:`repro.obs.Observability` (default: process-wide configuration).
     """
     requests = requests or _requests_per_client()
-    env = Environment(config=config, seed=seed)
+    env = Environment(config=config, seed=seed, obs=obs)
     # WAN queueing under load can exceed the library's default suspicion
     # timeout; benchmark deployments use wide-area-appropriate settings so
     # measurements reflect steady state rather than false-suspicion churn
@@ -214,13 +222,14 @@ def peer_point(
     ordering: str,
     multicasts: Optional[int] = None,
     seed: int = 42,
+    obs=None,
 ) -> ExperimentPoint:
     """One peer-participation measurement: a lively group of ``n_members``
     all multicasting 100-character strings as fast as group-wide delivery
     allows; reports mean multicast-to-everywhere latency and aggregate
     message throughput (the paper's msgs/sec metric)."""
     multicasts = multicasts or (100 if full_run() else 30)
-    env = Environment(config=config, seed=seed)
+    env = Environment(config=config, seed=seed, obs=obs)
     services = env.add_peers(n_members)
     peer_config = make_peer_config(ordering=ordering)
     sessions = [services[0].create_peer_group("conf", peer_config)]

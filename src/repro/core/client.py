@@ -63,7 +63,17 @@ class InvocationResult:
 class _PendingCall:
     """Client-side state for one outstanding invocation."""
 
-    __slots__ = ("call_no", "operation", "args", "mode", "future", "replies", "timer")
+    __slots__ = (
+        "call_no",
+        "operation",
+        "args",
+        "mode",
+        "future",
+        "replies",
+        "timer",
+        "span",
+        "sent_at",
+    )
 
     def __init__(self, call_no: int, operation: str, args: Tuple, mode: str, future: Future):
         self.call_no = call_no
@@ -73,6 +83,8 @@ class _PendingCall:
         self.future = future
         self.replies: Dict[str, ReplyMsg] = {}
         self.timer = None
+        self.span = None  # root trace span for this invocation
+        self.sent_at = 0.0
 
 
 class GroupBinding:
@@ -108,6 +120,13 @@ class GroupBinding:
         self.null_delay = null_delay
         self.suspicion_timeout = suspicion_timeout
         self.flush_timeout = flush_timeout
+
+        obs = service.sim.obs
+        self._tracer = obs.tracer
+        self._latency_hist = obs.metrics.histogram("client.invoke_latency")
+        self._invocations_counter = obs.metrics.counter("client.invocations")
+        self._rebind_counter = obs.metrics.counter("client.rebinds")
+        self._timeout_counter = obs.metrics.counter("client.timeouts")
 
         self.ready = Future(name=f"bound:{service_name}@{self.client_id}")
         self.manager: Optional[str] = None  # open style: current request manager
@@ -254,6 +273,25 @@ class GroupBinding:
         future = Future(name=f"call:{operation}@{self.client_id}")
         call_no = self.service.next_call_no()
         pending = _PendingCall(call_no, operation, tuple(args), mode, future)
+        self._invocations_counter.inc()
+        pending.sent_at = self.sim.now
+        if self._tracer.enabled:
+            # explicit parent=None: every client invocation is its own trace
+            # root; everything it causes (multicast, forwarding, execution,
+            # replies) hangs off this span
+            pending.span = self._tracer.start_span(
+                "invoke",
+                kind="client",
+                node=self.client_id,
+                parent=None,
+                attrs={
+                    "service": self.service_name,
+                    "operation": operation,
+                    "style": self.style,
+                    "mode": mode,
+                    "call_no": call_no,
+                },
+            )
         if mode == Mode.ONE_WAY:
             if self._bound:
                 self._send_invoke(pending)
@@ -263,6 +301,7 @@ class GroupBinding:
             return future
         self._pending[call_no] = pending
         self.service.register_pending(call_no, self)
+        future.add_done_callback(lambda f: self._finish_invoke(pending, f))
         if timeout is not None:
             pending.timer = self.sim.schedule(
                 timeout, self._on_call_timeout, call_no
@@ -305,12 +344,25 @@ class GroupBinding:
             False,
             "",
         )
-        self._gc.send(message)
+        with self._tracer.use(pending.span):
+            self._gc.send(message)
+        if pending.mode == Mode.ONE_WAY:
+            self._tracer.end_span(pending.span, outcome="oneway")
+
+    def _finish_invoke(self, pending: _PendingCall, fut: Future) -> None:
+        if not fut.failed:
+            self._latency_hist.record(self.sim.now - pending.sent_at)
+        self._tracer.end_span(
+            pending.span,
+            outcome="error" if fut.failed else "ok",
+            replies=0 if fut.failed else len(fut.result() or ()),
+        )
 
     def _on_call_timeout(self, call_no: int) -> None:
         pending = self._pending.pop(call_no, None)
         if pending is None:
             return
+        self._timeout_counter.inc()
         self.service.unregister_pending(call_no)
         pending.future.try_fail(
             CommFailure(f"call #{call_no} ({pending.operation}) timed out")
@@ -390,6 +442,7 @@ class GroupBinding:
         """Create a fresh client/server group around a surviving member."""
         if attempt == 0:
             self.rebinds += 1
+            self._rebind_counter.inc()
             if self._gc is not None:
                 self._gc.leave()
                 self._gc = None

@@ -56,11 +56,17 @@ class GroupToGroupBinding:
         self.ordering = ordering
         self.liveliness = liveliness
 
+        obs = service.sim.obs
+        self._tracer = obs.tracer
+        self._invocations_counter = obs.metrics.counter("g2g.invocations")
+        self._latency_hist = obs.metrics.histogram("g2g.invoke_latency")
+
         self.ready = Future(name=f"g2g-ready:{client_group}->{target_service}")
         self.monitor_name = f"g2g:{client_group}:{target_service}"
         self._monitor = None
         self._calls = itertools.count(1)
         self._pending: Dict[int, Future] = {}
+        self._spans: Dict[int, Tuple[Any, float]] = {}
         self._closed = False
         self._start()
 
@@ -142,18 +148,43 @@ class GroupToGroupBinding:
             False,
             self.monitor_name,
         )
+        self._invocations_counter.inc()
+        tracer = self._tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.start_span(
+                "g2g.invoke",
+                kind="client",
+                node=self.member_id,
+                parent=None,
+                attrs={
+                    "client_group": self.client_group,
+                    "target": self.target_service,
+                    "operation": operation,
+                    "mode": mode,
+                    "call_no": call_no,
+                },
+            )
         if mode == Mode.ONE_WAY:
-            self._monitor.send(message)
+            with tracer.use(span):
+                self._monitor.send(message)
+            tracer.end_span(span, outcome="oneway")
             future.resolve(None)
             return future
         self._pending[call_no] = future
-        self._monitor.send(message)
+        self._spans[call_no] = (span, self.sim.now)
+        with tracer.use(span):
+            self._monitor.send(message)
         return future
 
     def _on_monitor_deliver(self, sender: str, payload: Any) -> None:
         if not isinstance(payload, ReplySet):
             return  # other members' request copies; the manager filters them
         future = self._pending.pop(payload.call_no, None)
+        span, sent_at = self._spans.pop(payload.call_no, (None, None))
+        if sent_at is not None:
+            self._latency_hist.record(self.sim.now - sent_at)
+        self._tracer.end_span(span, outcome="ok", replies=len(payload.replies))
         if future is not None:
             future.try_resolve(InvocationResult(payload.replies))
 
@@ -167,6 +198,9 @@ class GroupToGroupBinding:
         for future in self._pending.values():
             future.try_fail(BindingBroken("g2g binding closed"))
         self._pending.clear()
+        for span, _ in self._spans.values():
+            self._tracer.end_span(span, outcome="error")
+        self._spans.clear()
         if self._monitor is not None:
             self._monitor.leave()
             self._monitor = None

@@ -103,6 +103,12 @@ class ObjectGroupServer:
         self._async_handled: Dict[Tuple[str, int], bool] = {}
         self._reply_cache: "OrderedDict[Tuple[str, int], ReplySet]" = OrderedDict()
         self._own_replies: Dict[Tuple[str, int], ReplyMsg] = {}
+        obs = service.sim.obs
+        self._tracer = obs.tracer
+        self._executed_counter = obs.metrics.counter("server.requests_executed")
+        self._dup_counter = obs.metrics.counter("server.duplicates_suppressed")
+        self._cache_hit_counter = obs.metrics.counter("server.reply_cache_hits")
+        self._g2g_dup_counter = obs.metrics.counter("server.g2g_duplicates")
         self._servant_ref = self.orb.register(
             _InvocationServant(self), object_id=server_servant_id(service_name)
         )
@@ -254,6 +260,10 @@ class ObjectGroupServer:
         cached = self._reply_cache.get(call_id)
         if cached is not None:
             # retried call (client rebind after a manager failure): replay
+            self._cache_hit_counter.inc()
+            self._tracer.event(
+                "manager.reply_cache_hit", client=invoke.client, call_no=invoke.call_no
+            )
             self._send_reply_set(group_name, cached)
             return
         if invoke.mode == Mode.ONE_WAY:
@@ -277,6 +287,11 @@ class ObjectGroupServer:
 
     def _forward(self, invoke: InvokeMsg, mode: str) -> None:
         """Re-issue the client's request inside the server group (§4.1 ii)."""
+        # the paper's m2: the request manager re-multicasts into the server
+        # group; the ambient span here is the delivery of the client's m1
+        self._tracer.event(
+            "manager.forward", client=invoke.client, call_no=invoke.call_no, mode=mode
+        )
         forwarded = InvokeMsg(
             invoke.client,
             invoke.call_no,
@@ -300,12 +315,20 @@ class ObjectGroupServer:
     def _send_reply_set(self, group_name: str, reply_set: ReplySet) -> None:
         session = self._client_groups.get(group_name)
         if session is not None and session.state != "closed":
+            # the paper's m6: the gathered replies travel back to the client
+            self._tracer.event(
+                "manager.reply_set",
+                client=reply_set.client,
+                call_no=reply_set.call_no,
+                replies=len(reply_set.replies),
+            )
             session.send(reply_set)
 
     # -- group-to-group: filter duplicates from gx members (§4.3) ----------
     def _handle_g2g_request(self, invoke: InvokeMsg) -> None:
         call_id = invoke.call_id
         if call_id in self._g2g_seen:
+            self._g2g_dup_counter.inc()
             return  # already forwarded on behalf of another gx member
         self._g2g_seen[call_id] = True
         cached = self._reply_cache.get(call_id)
@@ -336,6 +359,7 @@ class ObjectGroupServer:
             return  # we answered this locally before forwarding (§4.2)
         if call_id in self._own_replies:
             # duplicate (e.g. re-forwarded after a manager failure): replay
+            self._dup_counter.inc()
             if invoke.mode != Mode.ONE_WAY:
                 self.group.send(self._own_replies[call_id])
             return
@@ -400,9 +424,32 @@ class ObjectGroupServer:
         cost = EXECUTION_OVERHEAD + self.orb.adapter().servant_cost(
             self.servant, invoke.operation
         )
-        self.node.execute(cost, self._run_servant, invoke, done)
+        tracer = self._tracer
+        if tracer.enabled:
+            # the paper's m3: the replica executes the invocation.  The span
+            # stays ambient while the servant runs, so the reply multicast
+            # (m4) issued from ``done`` becomes its child.
+            span = tracer.start_span(
+                "server.execute",
+                kind="server",
+                node=self.member_id,
+                attrs={
+                    "operation": invoke.operation,
+                    "client": invoke.client,
+                    "call_no": invoke.call_no,
+                },
+            )
+            with tracer.use(span):
+                self.node.execute(cost, self._run_servant_traced, span, invoke, done)
+        else:
+            self.node.execute(cost, self._run_servant, invoke, done)
+
+    def _run_servant_traced(self, span, invoke: InvokeMsg, done) -> None:
+        self._run_servant(invoke, done)
+        self._tracer.end_span(span)
 
     def _run_servant(self, invoke: InvokeMsg, done) -> None:
+        self._executed_counter.inc()
         method = getattr(self.servant, invoke.operation, None)
         if method is None or invoke.operation.startswith("_"):
             done(ReplyMsg(invoke.client, invoke.call_no, self.member_id, False,

@@ -109,6 +109,14 @@ class ChannelManager:
         self._in: Dict[str, _Incoming] = {}
         self.retransmissions = 0
         self.nacks_sent = 0
+        #: True while ``transport`` is being invoked for a *retransmitted*
+        #: frame — the service reads this to classify the send under its own
+        #: ``retransmit`` traffic kind instead of the frame's payload kind.
+        self.retransmitting = False
+        metrics = sim.obs.metrics
+        self._retransmit_counter = metrics.counter("gc.channel.retransmissions")
+        self._nack_counter = metrics.counter("gc.channel.nacks_sent")
+        self._gap_skip_counter = metrics.counter("gc.channel.gap_skips")
 
     # ------------------------------------------------------------------
     # sending
@@ -146,9 +154,18 @@ class ChannelManager:
         if self.sim.now - out.sent_at.get(oldest, 0.0) >= period * 0.9:
             out.probes += 1
             self.retransmissions += 1
+            self._retransmit_counter.inc()
             out.sent_at[oldest] = self.sim.now
-            self.transport(peer, ChanData(oldest, out.buffer[oldest]))
+            self._retransmit(peer, ChanData(oldest, out.buffer[oldest]))
         out.probe_timer = self.sim.schedule(period, self._probe, peer)
+
+    def _retransmit(self, peer: str, frame: ChanData) -> None:
+        """Send a repaired frame with the ``retransmitting`` flag raised."""
+        self.retransmitting = True
+        try:
+            self.transport(peer, frame)
+        finally:
+            self.retransmitting = False
 
     # ------------------------------------------------------------------
     # receiving
@@ -238,6 +255,7 @@ class ChannelManager:
             # Peer presumed crashed: skip the gap so later traffic (if the
             # peer somehow recovers) is not blocked forever.  Stale messages
             # are filtered by view ids above us.
+            self._gap_skip_counter.inc()
             inc.expected = min(inc.out_of_order)
             while inc.expected in inc.out_of_order:
                 self.upcall(peer, inc.out_of_order.pop(inc.expected))
@@ -255,6 +273,7 @@ class ChannelManager:
         first_missing = inc.expected
         last_missing = max(inc.out_of_order) - 1
         self.nacks_sent += 1
+        self._nack_counter.inc()
         self.transport(peer, ChanNack(first_missing, last_missing))
 
     def _on_nack(self, peer: str, nack: ChanNack) -> None:
@@ -267,7 +286,8 @@ class ChannelManager:
             if inner is not None:
                 repaired = True
                 self.retransmissions += 1
-                self.transport(peer, ChanData(seq, inner))
+                self._retransmit_counter.inc()
+                self._retransmit(peer, ChanData(seq, inner))
         if not repaired:
             # we no longer hold anything in the requested range (dropped
             # after giving up during a partition): tell the receiver to

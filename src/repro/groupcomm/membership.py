@@ -42,6 +42,11 @@ class MembershipEngine:
     def __init__(self, session):
         self.session = session
         self.sim = session.sim
+        metrics = session.sim.obs.metrics
+        self._flushes_started = metrics.counter("gc.membership.flushes_started")
+        self._flushes_completed = metrics.counter("gc.membership.flushes_completed")
+        self._flush_timeouts = metrics.counter("gc.membership.flush_timeouts")
+        self._suspicions = metrics.counter("gc.membership.suspicions")
         # pending changes known to me (acted on when I coordinate)
         self.pending_add: Set[str] = set()
         self.pending_remove: Set[str] = set()
@@ -115,6 +120,10 @@ class MembershipEngine:
         """Our failure detector suspects ``member``."""
         if self.session.state == "closed":
             return
+        self._suspicions.inc()
+        self.session._tracer.event(
+            "gc.suspicion", group=self.session.group, suspect=member
+        )
         if self.coordinating and member in self._proposed:
             # a member we are waiting on just died: restart without it
             self.pending_remove.add(member)
@@ -177,6 +186,7 @@ class MembershipEngine:
             return
         self.coordinating = True
         self.attempt += 1
+        self._flushes_started.inc()
         self._proposed = proposed
         self._oks = {}
         req = FlushReq(
@@ -204,6 +214,7 @@ class MembershipEngine:
         missing = [m for m in self._proposed if m not in self._oks]
         if not missing:
             return
+        self._flush_timeouts.inc()
         # non-responders are presumed crashed: drop them and retry
         for member in missing:
             self.session.detector.suspected.add(member)
@@ -223,6 +234,7 @@ class MembershipEngine:
 
     def _complete_flush(self) -> None:
         session = self.session
+        self._flushes_completed.inc()
         if self._flush_timer is not None:
             self._flush_timer.cancel()
             self._flush_timer = None

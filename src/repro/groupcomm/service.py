@@ -74,9 +74,15 @@ class GroupCommService:
         self.ticket_merger = TicketMerger()
         self.sessions: Dict[str, GroupSession] = {}
         #: outbound protocol-message counts by kind (data / null / ticket /
-        #: membership / channel control) — the basis of the traffic bench
+        #: membership / channel control / retransmit) — the basis of the
+        #: traffic bench.  Retransmitted frames count under ``retransmit``,
+        #: not under their payload's kind: a repair is protocol overhead,
+        #: and counting it as ``data`` would inflate the per-request data
+        #: traffic the paper's tables report.
         self.traffic: Dict[str, int] = {}
         self._ticket_counter = 0
+        self._metrics = orb.sim.obs.metrics
+        self._kind_counters: Dict[str, Any] = {}
         self._nso_ref = orb.register(_NsoServant(self), object_id=NSO_OBJECT_ID)
         self.channels = ChannelManager(
             self.sim, self.name, self._transport, self._route
@@ -132,10 +138,25 @@ class GroupCommService:
     # transport (channel layer <-> ORB)
     # ------------------------------------------------------------------
     def _transport(self, peer: str, message: Any) -> None:
-        kind = self._classify(message)
+        if self.channels.retransmitting:
+            kind = "retransmit"
+        else:
+            kind = self._classify(message)
         self.traffic[kind] = self.traffic.get(kind, 0) + 1
+        if self.node.alive:
+            # per-kind send counter, mirrored so it reconciles ±0 with the
+            # net layer's per-kind hop counts (a crashed node's sends never
+            # reach the wire, so they are not counted here either)
+            counter = self._kind_counters.get(kind)
+            if counter is None:
+                counter = self._kind_counters[kind] = self._metrics.counter(
+                    f"gc.sent.{kind}"
+                )
+            counter.inc()
         target = IOR(peer, "RootPOA", NSO_OBJECT_ID)
-        self.orb.invoke(target, "receive", (self.name, message), oneway=True)
+        self.orb.invoke(
+            target, "receive", (self.name, message), oneway=True, net_kind=kind
+        )
 
     @staticmethod
     def _classify(message: Any) -> str:

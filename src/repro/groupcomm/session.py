@@ -95,6 +95,11 @@ class GroupSession:
         self._leaving = False
 
         self.stats = SessionStats()
+        obs = self.sim.obs
+        self._tracer = obs.tracer
+        self._delivered_counter = obs.metrics.counter("gc.delivered")
+        self._views_counter = obs.metrics.counter("gc.views_installed")
+        self._unstable_hist = obs.metrics.histogram("gc.unstable_depth")
         self.flow = FlowController(config.send_window)
         self.ordering = make_ordering(config.ordering, self)
         self.detector = FailureDetector(self)
@@ -211,11 +216,34 @@ class GroupSession:
         if kind == KIND_DATA:
             self.unstable[msg.msg_id] = msg
             self.stats.sent += 1
+            self._unstable_hist.record(float(len(self.unstable)))
         self.detector.sent_something()
-        for member in self.view.members:
-            if member != self.member_id:
-                self.service.channels.send(member, msg)
-        self.ordering.on_local_send(msg)
+        tracer = self._tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.start_span(
+                "gc.send",
+                kind="producer",
+                node=self.member_id,
+                attrs={
+                    "group": self.group,
+                    "msg.kind": kind,
+                    "gseq": gseq,
+                    "ts": ts,
+                    "fanout": len(self.view.members) - 1,
+                },
+            )
+            if kind == KIND_DATA:
+                # group-ordered delivery is unblocked by *later* protocol
+                # traffic, so deliverers cannot rely on scheduler context for
+                # causality; they look the sender's span up by message id
+                tracer.stash_parent((self.group, msg.msg_id), span)
+        with tracer.use(span):
+            for member in self.view.members:
+                if member != self.member_id:
+                    self.service.channels.send(member, msg)
+            self.ordering.on_local_send(msg)
+        tracer.end_span(span)
         # symmetric ordering: peers can only deliver our message once they
         # hold a *later* timestamp from us — if nothing else goes out soon,
         # a NULL must follow (the sender-side half of the protocol traffic)
@@ -368,9 +396,20 @@ class GroupSession:
     def _announce_ticket(self, ticket: int, key: Tuple[str, int]) -> None:
         sender, gseq = key
         msg = TicketMsg(self.group, self.member_id, self.view.view_id, ticket, sender, gseq)
-        for member in self.view.members:
-            if member != self.member_id:
-                self.service.channels.send(member, msg)
+        tracer = self._tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.start_span(
+                "gc.ticket",
+                kind="producer",
+                node=self.member_id,
+                attrs={"group": self.group, "ticket": ticket, "for": f"{sender}#{gseq}"},
+            )
+        with tracer.use(span):
+            for member in self.view.members:
+                if member != self.member_id:
+                    self.service.channels.send(member, msg)
+        tracer.end_span(span)
         self.detector.sent_something()
 
     def _drain_tickets(self) -> None:
@@ -380,7 +419,27 @@ class GroupSession:
         if msg.is_null:
             return
         self.stats.delivered += 1
-        if self.on_deliver is not None:
+        self._delivered_counter.inc()
+        if self.on_deliver is None:
+            return
+        tracer = self._tracer
+        if tracer.enabled:
+            # parent on the *sender's* gc.send span (looked up by message id):
+            # the scheduler context here belongs to whichever protocol message
+            # unblocked ordering, not to the message's causal origin
+            parent = tracer.stashed_parent((self.group, msg.msg_id))
+            span = tracer.start_span(
+                "gc.deliver",
+                kind="consumer",
+                node=self.member_id,
+                parent=parent if parent is not None else "ambient",
+                attrs={"group": self.group, "sender": msg.sender, "gseq": msg.gseq},
+            )
+            with tracer.use(span):
+                self.service.node.execute(
+                    DELIVER_COST, self._upcall_traced, span, msg.sender, msg.payload
+                )
+        else:
             self.service.node.execute(
                 DELIVER_COST, self._upcall, msg.sender, msg.payload
             )
@@ -388,6 +447,10 @@ class GroupSession:
     def _upcall(self, sender: str, payload: Any) -> None:
         if self.state != "closed" and self.on_deliver is not None:
             self.on_deliver(sender, payload)
+
+    def _upcall_traced(self, span, sender: str, payload: Any) -> None:
+        self._upcall(sender, payload)
+        self._tracer.end_span(span)
 
     # ------------------------------------------------------------------
     # flush / view change support
@@ -442,6 +505,15 @@ class GroupSession:
 
         self.state = "active"
         self.stats.views += 1
+        self._views_counter.inc()
+        self._tracer.event(
+            "gc.view_install",
+            group=self.group,
+            view_id=install.view.view_id,
+            members=len(install.view.members),
+            joined=len(joined),
+            left=len(left),
+        )
         self._register_with_mergers()
         self.detector.on_view_change()
         self.detector.start()

@@ -26,25 +26,55 @@ __all__ = ["Network", "NetworkStats"]
 
 
 class NetworkStats:
-    """Counters for traffic observation and tests."""
+    """Counters for traffic observation and tests.
 
-    def __init__(self):
+    Mirrors every count into the run's :class:`~repro.obs.MetricsRegistry`
+    (when bound), including **per-kind hop counts**: each hop is attributed
+    to the protocol-message kind the sender threads down through
+    ``Node.send`` / ``ORB.invoke``, so ``net.hops.<kind>`` totals reconcile
+    exactly (±0) with the gc layer's per-kind send counters.
+    """
+
+    def __init__(self, metrics=None):
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
         self.bytes_sent = 0
         self.per_service_sent: Dict[str, int] = {}
+        self.per_kind_sent: Dict[str, int] = {}
+        self._metrics = metrics
+        if metrics is not None:
+            self._sent = metrics.counter("net.sent")
+            self._delivered = metrics.counter("net.delivered")
+            self._dropped = metrics.counter("net.dropped")
+            self._bytes = metrics.counter("net.bytes_sent")
+            self._kind_counters: Dict[str, Any] = {}
 
-    def record_send(self, service: str, size: int) -> None:
+    def record_send(self, service: str, size: int, kind: Optional[str] = None) -> None:
         self.messages_sent += 1
         self.bytes_sent += size
         self.per_service_sent[service] = self.per_service_sent.get(service, 0) + 1
+        kind = kind or service
+        self.per_kind_sent[kind] = self.per_kind_sent.get(kind, 0) + 1
+        if self._metrics is not None:
+            self._sent.inc()
+            self._bytes.inc(size)
+            counter = self._kind_counters.get(kind)
+            if counter is None:
+                counter = self._kind_counters[kind] = self._metrics.counter(
+                    f"net.hops.{kind}"
+                )
+            counter.inc()
 
     def record_delivery(self) -> None:
         self.messages_delivered += 1
+        if self._metrics is not None:
+            self._delivered.inc()
 
     def record_drop(self) -> None:
         self.messages_dropped += 1
+        if self._metrics is not None:
+            self._dropped.inc()
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -62,7 +92,9 @@ class Network:
         self.sim = sim
         self.topology = topology
         self.nodes: Dict[str, Node] = {}
-        self.stats = NetworkStats()
+        self.stats = NetworkStats(metrics=sim.obs.metrics)
+        self._tracer = sim.obs.tracer
+        self._link_queue_hist = sim.obs.metrics.histogram("net.link_queue_delay")
         self._partition: Optional[List[Set[str]]] = None  # sets of node names
         self._last_arrival: Dict[Tuple[str, str], float] = {}
         # shared link capacity: messages serialise onto the (directed)
@@ -96,7 +128,15 @@ class Network:
     # ------------------------------------------------------------------
     # transmission
     # ------------------------------------------------------------------
-    def transmit(self, src: str, dst: str, service: str, payload: Any, size: int) -> None:
+    def transmit(
+        self,
+        src: str,
+        dst: str,
+        service: str,
+        payload: Any,
+        size: int,
+        kind: Optional[str] = None,
+    ) -> None:
         """Deliver a message from ``src`` to ``dst`` (called post send-CPU).
 
         The message serialises onto the directed link resource it crosses —
@@ -105,8 +145,12 @@ class Network:
         propagates.  On a 100 Mbit LAN the queue is all but invisible; on a
         ~2 Mbit WAN path it is the dominant cost of fanning a multicast out
         across sites.
+
+        ``kind`` attributes this hop in the per-kind accounting (protocol
+        message kinds from the gc layer; defaults to the service name).
         """
-        self.stats.record_send(service, size)
+        tracer = self._tracer
+        self.stats.record_send(service, size, kind=kind)
         src_site = self.nodes[src].site
         dst_node = self.nodes.get(dst)
         dst_site = dst_node.site if dst_node is not None else src_site
@@ -117,12 +161,31 @@ class Network:
         tx_start = max(self.sim.now, self._link_busy.get(resource, 0.0))
         tx_end = tx_start + link.serialisation_delay(size)
         self._link_busy[resource] = tx_end
+        self._link_queue_hist.record(tx_start - self.sim.now)
+
+        span = None
+        if tracer.enabled:
+            span = tracer.start_span(
+                "net.hop",
+                kind="transport",
+                node=src,
+                attrs={
+                    "src": src,
+                    "dst": dst,
+                    "service": service,
+                    "size": size,
+                    "link": f"{src_site}->{dst_site}",
+                    **({"msg.kind": kind} if kind else {}),
+                },
+            )
 
         if dst_node is None or not dst_node.alive or not self.reachable(src, dst):
             self.stats.record_drop()
+            tracer.end_span(span, outcome="dropped", reason="unreachable")
             return
         if link.loss and self._loss_rng.random() < link.loss:
             self.stats.record_drop()
+            tracer.end_span(span, outcome="lost")
             return
 
         arrival = tx_end + link.latency.sample(self._rng)
@@ -131,7 +194,15 @@ class Network:
         arrival = max(arrival, self._last_arrival.get(key, 0.0))
         self._last_arrival[key] = arrival
         self.stats.record_delivery()
-        self.sim.schedule_at(arrival, dst_node.deliver, src, service, payload, size)
+        if span is not None:
+            # the hop's extent is known now: close it at the arrival time so
+            # the span covers queueing + serialisation + propagation
+            span.end = arrival
+            span.attrs["outcome"] = "delivered"
+            with tracer.use(span):
+                self.sim.schedule_at(arrival, dst_node.deliver, src, service, payload, size)
+        else:
+            self.sim.schedule_at(arrival, dst_node.deliver, src, service, payload, size)
 
     # ------------------------------------------------------------------
     # partitions

@@ -72,6 +72,7 @@ class Node:
         self._handlers: Dict[str, Callable[[str, Any, int], None]] = {}
         self._busy_until = 0.0
         self._busy_accum = 0.0
+        self._queue_hist = sim.obs.metrics.histogram("node.cpu_queue_delay")
 
     # ------------------------------------------------------------------
     # service registration and message I/O
@@ -82,12 +83,22 @@ class Node:
             raise ValueError(f"service {service!r} already registered on {self.name}")
         self._handlers[service] = handler
 
-    def send(self, dst: str, service: str, payload: Any, size: int) -> None:
+    def send(
+        self,
+        dst: str,
+        service: str,
+        payload: Any,
+        size: int,
+        kind: Optional[str] = None,
+    ) -> None:
         """Send a message to ``dst``; pays the send CPU cost first.
 
         The message leaves the node once the CPU has finished marshalling it,
         so a burst of sends from one node is serialised — this is the
         paper's "multicast implemented by invoking members in turn".
+
+        ``kind`` (optional) attributes the resulting network hop to a
+        protocol-message kind for per-kind traffic accounting.
 
         A crashed node sends nothing (crash-stop): the call is a silent
         no-op so that protocol timers firing after a crash cannot blow up.
@@ -98,7 +109,7 @@ class Node:
             raise RuntimeError(f"node {self.name} is not attached to a network")
         cost = self.cpu.send_cost(size)
         self.execute(
-            cost, self.network.transmit, self.name, dst, service, payload, size
+            cost, self.network.transmit, self.name, dst, service, payload, size, kind
         )
 
     def deliver(self, src: str, service: str, payload: Any, size: int) -> None:
@@ -124,6 +135,7 @@ class Node:
             return
         now = self.sim.now
         start = max(now, self._busy_until)
+        self._queue_hist.record(start - now)
         self._busy_until = start + cost
         self._busy_accum += cost
         self.sim.schedule_at(self._busy_until, self._run_if_alive, fn, args)

@@ -1,0 +1,189 @@
+"""Unified observability for the NewTop reproduction (`repro.obs`).
+
+One :class:`Observability` object per :class:`~repro.sim.core.Simulator`
+bundles
+
+- a :class:`~repro.obs.tracer.Tracer` emitting causal span trees stamped
+  with virtual sim time (one tree per client invocation, covering the
+  paper's fig. 9 m1-m6 message path), and
+- a :class:`~repro.obs.metrics.MetricsRegistry` of counters, gauges, and
+  HDR-style histograms (latency percentiles, CPU/link queue depths, and
+  per-kind protocol traffic: data / NULL / ticket / membership / control /
+  retransmit).
+
+Metrics are always on (they are cheap and deterministic); span recording is
+opt-in via ``Observability(trace=True)``, the global :func:`configure`
+options (used by the ``python -m repro.bench --trace`` flag), or the
+``REPRO_TRACE`` environment variable.
+
+The module deliberately imports nothing from the rest of ``repro`` so every
+layer — including the simulation kernel — can depend on it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, IO, List, Optional, Tuple, Union
+
+from repro.obs.exporters import (
+    build_trees,
+    read_jsonl,
+    render_metrics_table,
+    render_timeline,
+    spans_by_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
+from repro.obs.tracer import ObsContext, Span, Tracer
+
+__all__ = [
+    "Observability",
+    "TraceSink",
+    "configure",
+    "global_options",
+    "reconcile_traffic",
+    "Tracer",
+    "Span",
+    "ObsContext",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "merge_snapshots",
+    "write_jsonl",
+    "read_jsonl",
+    "build_trees",
+    "spans_by_trace",
+    "render_timeline",
+    "render_metrics_table",
+]
+
+
+class Observability:
+    """Tracer + metrics registry for one simulation run."""
+
+    def __init__(self, trace: bool = False):
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(enabled=trace)
+        self.sim = None  # bound by Simulator.__init__
+
+    def bind(self, sim) -> "Observability":
+        """Attach to a simulator: spans are stamped with its virtual clock."""
+        self.sim = sim
+        self.tracer.clock = lambda: sim.now
+        return self
+
+    # ------------------------------------------------------------------
+    # snapshots / export
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> Dict[str, Dict]:
+        """Metrics snapshot, augmented with kernel gauges at read time."""
+        if self.sim is not None:
+            self.metrics.gauge("sim.virtual_time").set(self.sim.now)
+            self.metrics.gauge("sim.events_processed").set(
+                float(self.sim.events_processed)
+            )
+        return self.metrics.snapshot()
+
+    def trace_records(self) -> List[Dict[str, Any]]:
+        return self.tracer.records()
+
+    def dump_trace(self, destination: Union[str, IO[str]]) -> int:
+        """Write this run's spans as JSONL; returns the number written."""
+        return write_jsonl(destination, self.trace_records())
+
+
+class TraceSink:
+    """Aggregates observability across several simulation runs.
+
+    Benchmark sweeps build one fresh simulator per measured point; the sink
+    collects every run's spans (stamped with a run index) and metrics so the
+    CLI can emit one combined trace file and one combined snapshot table.
+    """
+
+    def __init__(self):
+        self.runs: List[Observability] = []
+
+    def register(self, obs: Observability) -> int:
+        self.runs.append(obs)
+        return len(self.runs) - 1
+
+    def records(self) -> List[Dict[str, Any]]:
+        records: List[Dict[str, Any]] = []
+        for run_index, obs in enumerate(self.runs):
+            for record in obs.trace_records():
+                record = dict(record)
+                record["run"] = run_index
+                # namespace ids so traces from different runs cannot collide
+                record["trace"] = f"{run_index}:{record['trace']}"
+                records.append(record)
+        return records
+
+    def write_jsonl(self, destination: Union[str, IO[str]]) -> int:
+        return write_jsonl(destination, self.records())
+
+    def merged_metrics(self) -> Dict[str, Dict]:
+        return merge_snapshots(obs.metrics_snapshot() for obs in self.runs)
+
+    def dropped_spans(self) -> int:
+        return sum(obs.tracer.dropped for obs in self.runs)
+
+
+def reconcile_traffic(snapshot: Dict[str, Dict]) -> Dict[str, Tuple[int, int]]:
+    """Cross-check per-kind protocol sends against network hop counts.
+
+    Returns ``{kind: (gc_sent, net_hops)}`` for every protocol-message kind
+    the gc layer sent.  In a correctly-attributed run the two numbers match
+    exactly (±0): every ``gc.sent.<kind>`` increment corresponds to exactly
+    one ``Node.send(..., kind=...)`` and therefore one recorded hop.
+    """
+    counters = snapshot.get("counters", {})
+    prefix = "gc.sent."
+    return {
+        name[len(prefix):]: (value, counters.get(f"net.hops.{name[len(prefix):]}", 0))
+        for name, value in counters.items()
+        if name.startswith(prefix)
+    }
+
+
+#: Process-wide defaults consulted by Simulator when no explicit
+#: Observability is injected.  The bench CLI sets these from --trace /
+#: --metrics so existing workloads emit traces with zero code changes.
+_GLOBAL_OPTIONS: Dict[str, Any] = {"trace": False, "sink": None}
+
+
+def configure(
+    trace: Optional[bool] = None, sink: Optional[TraceSink] = None
+) -> None:
+    """Set process-wide observability defaults (None leaves a value as-is).
+
+    ``configure(trace=False, sink=None)`` restores the defaults.
+    """
+    if trace is not None:
+        _GLOBAL_OPTIONS["trace"] = trace
+    _GLOBAL_OPTIONS["sink"] = sink
+
+
+def global_options() -> Dict[str, Any]:
+    return dict(_GLOBAL_OPTIONS)
+
+
+def observability_from_global_options() -> Observability:
+    """Build the default Observability for a new Simulator."""
+    import os
+
+    trace = _GLOBAL_OPTIONS["trace"] or os.environ.get("REPRO_TRACE", "") not in (
+        "",
+        "0",
+        "false",
+    )
+    obs = Observability(trace=trace)
+    sink = _GLOBAL_OPTIONS["sink"]
+    if sink is not None:
+        sink.register(obs)
+    return obs

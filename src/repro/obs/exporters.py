@@ -1,0 +1,163 @@
+"""Trace and metrics exporters.
+
+Three output forms:
+
+- **JSONL trace dump** — one span record per line, loadable with
+  :func:`read_jsonl` and reassembled into trees with :func:`build_trees`
+  (the round-trip is exact: ids, parents, times, attrs, events).
+- **Virtual-time timeline** — a human-readable rendering of one trace tree,
+  indented by causal depth and ordered by span start time.
+- **Metrics snapshot table** — the registry's counters/gauges/histograms as
+  an aligned text table.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Iterable, List, Optional, Tuple, Union
+
+__all__ = [
+    "write_jsonl",
+    "read_jsonl",
+    "build_trees",
+    "spans_by_trace",
+    "render_timeline",
+    "render_metrics_table",
+]
+
+
+def write_jsonl(
+    destination: Union[str, IO[str]],
+    records: Iterable[Dict[str, Any]],
+) -> int:
+    """Write span records as JSON lines; returns the number written."""
+    count = 0
+    if hasattr(destination, "write"):
+        for record in records:
+            destination.write(json.dumps(record, sort_keys=True) + "\n")
+            count += 1
+        return count
+    with open(destination, "w", encoding="utf-8") as fp:
+        for record in records:
+            fp.write(json.dumps(record, sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def read_jsonl(source: Union[str, IO[str]]) -> List[Dict[str, Any]]:
+    """Load span records written by :func:`write_jsonl`."""
+    if hasattr(source, "read"):
+        lines = source.read().splitlines()
+    else:
+        with open(source, "r", encoding="utf-8") as fp:
+            lines = fp.read().splitlines()
+    return [json.loads(line) for line in lines if line.strip()]
+
+
+def spans_by_trace(records: Iterable[Dict[str, Any]]) -> Dict[Any, List[Dict[str, Any]]]:
+    """Group span records by trace id (insertion order preserved)."""
+    traces: Dict[Any, List[Dict[str, Any]]] = {}
+    for record in records:
+        traces.setdefault(record["trace"], []).append(record)
+    return traces
+
+
+def build_trees(
+    records: Iterable[Dict[str, Any]],
+) -> Tuple[List[Dict[str, Any]], Dict[Any, List[Dict[str, Any]]]]:
+    """Reassemble parent/child structure from flat span records.
+
+    Returns ``(roots, children)`` where ``children`` maps a span id to its
+    child records.  A record whose parent id is unknown is treated as a root
+    (traces can be truncated by the span cap).
+    """
+    records = list(records)
+    by_id = {record["span"]: record for record in records}
+    roots: List[Dict[str, Any]] = []
+    children: Dict[Any, List[Dict[str, Any]]] = {}
+    for record in records:
+        parent = record.get("parent")
+        if parent is None or parent not in by_id:
+            roots.append(record)
+        else:
+            children.setdefault(parent, []).append(record)
+    for kids in children.values():
+        kids.sort(key=lambda r: (r["start"], r["span"]))
+    roots.sort(key=lambda r: (r["start"], r["span"]))
+    return roots, children
+
+
+def _format_ms(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "     ...  "
+    return f"{seconds * 1e3:9.3f}ms"
+
+
+def render_timeline(records: Iterable[Dict[str, Any]]) -> str:
+    """Render span records as an indented virtual-time timeline."""
+    roots, children = build_trees(records)
+    lines: List[str] = []
+
+    def emit(record: Dict[str, Any], depth: int) -> None:
+        start = record["start"]
+        end = record.get("end")
+        duration = "" if end is None else f" ({(end - start) * 1e3:.3f}ms)"
+        node = record.get("node") or "-"
+        attrs = record.get("attrs") or {}
+        attr_text = " ".join(f"{k}={attrs[k]}" for k in sorted(attrs))
+        lines.append(
+            f"{_format_ms(start)}  {'  ' * depth}{record['name']} [{node}]"
+            f"{duration}{('  ' + attr_text) if attr_text else ''}"
+        )
+        for t, name, attrs in (
+            (e["t"], e["name"], e.get("attrs", {})) for e in record.get("events", [])
+        ):
+            attr_text = " ".join(f"{k}={attrs[k]}" for k in sorted(attrs))
+            lines.append(
+                f"{_format_ms(t)}  {'  ' * (depth + 1)}* {name}"
+                f"{('  ' + attr_text) if attr_text else ''}"
+            )
+        for child in children.get(record["span"], []):
+            emit(child, depth + 1)
+
+    for root in roots:
+        lines.append(f"--- trace {root['trace']} ---")
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+def render_metrics_table(snapshot: Dict[str, Dict]) -> str:
+    """Render a metrics snapshot as an aligned text table."""
+    lines: List[str] = []
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    width = max(
+        [len(n) for n in counters] + [len(n) for n in gauges] + [len(n) for n in histograms] + [12]
+    )
+    if counters:
+        lines.append("counters")
+        for name, value in counters.items():
+            lines.append(f"  {name:<{width}}  {value}")
+    if gauges:
+        lines.append("gauges")
+        for name, value in gauges.items():
+            lines.append(f"  {name:<{width}}  {value:g}")
+    if histograms:
+        lines.append("histograms (seconds)")
+        header = f"  {'name':<{width}}  {'count':>8} {'mean':>12} {'p50':>12} {'p95':>12} {'p99':>12} {'max':>12}"
+        lines.append(header)
+        for name, summary in histograms.items():
+            # merged cross-run summaries have no percentiles (they cannot be
+            # recombined from per-run summaries) — show a dash, not a zero
+            quantiles = " ".join(
+                f"{summary[q]:>12.6f}" if q in summary else f"{'-':>12}"
+                for q in ("p50", "p95", "p99")
+            )
+            lines.append(
+                f"  {name:<{width}}  {summary['count']:>8}"
+                f" {summary['mean']:>12.6f}"
+                f" {quantiles}"
+                f" {summary['max']:>12.6f}"
+            )
+    return "\n".join(lines)

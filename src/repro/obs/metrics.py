@@ -1,0 +1,235 @@
+"""Metrics primitives: counters, gauges, and HDR-style histograms.
+
+Everything here is deterministic and simulation-aware: values are recorded
+against **virtual** time and quantities, never wall-clock, so two runs with
+the same seed produce byte-identical snapshots.  The registry is the common
+schema the benchmarks report against; layer code holds direct references to
+its instruments (attribute increments, no name lookups on hot paths).
+
+Histograms use HDR-style logarithmic bucketing: each power-of-two octave is
+split into ``SUBBUCKETS`` linear sub-buckets, giving a bounded relative
+error (~1/SUBBUCKETS) over an arbitrary dynamic range while storing only a
+sparse dict of bucket counts.  Percentiles are estimated from bucket upper
+bounds, which keeps them deterministic and monotone.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "merge_snapshots"]
+
+#: Linear sub-buckets per power-of-two octave (relative error ~6%).
+SUBBUCKETS = 16
+
+#: Sentinel bucket for zero/negative observations.  Values below 0.5 occupy
+#: genuine negative indices (frexp exponents go down to about -1073, i.e.
+#: index >= -17200), so the sentinel must sit far below that range.
+ZERO_BUCKET = -(10**9)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Gauge {self.name}={self.value}>"
+
+
+def _bucket_index(value: float) -> int:
+    """Map a positive value to its HDR bucket index.
+
+    Index layout: octave (binary exponent) * SUBBUCKETS + linear position of
+    the mantissa within the octave.  Zero and negative values map to
+    ``ZERO_BUCKET`` (counted, reported as 0.0).
+    """
+    if value <= 0.0:
+        return ZERO_BUCKET
+    mantissa, exponent = math.frexp(value)  # value = mantissa * 2**exponent, 0.5 <= m < 1
+    sub = int((mantissa - 0.5) * 2 * SUBBUCKETS)
+    if sub >= SUBBUCKETS:  # mantissa == 1.0 edge after float fuzz
+        sub = SUBBUCKETS - 1
+    return exponent * SUBBUCKETS + sub
+
+
+def _bucket_upper(index: int) -> float:
+    """Upper bound of the bucket with the given index."""
+    if index == ZERO_BUCKET:
+        return 0.0
+    exponent, sub = divmod(index, SUBBUCKETS)
+    return (0.5 + (sub + 1) / (2 * SUBBUCKETS)) * (2.0 ** exponent)
+
+
+class Histogram:
+    """Sparse HDR-style histogram over an arbitrary positive range."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets: Dict[int, int] = {}
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        index = _bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Estimated p-quantile (0..1) from bucket upper bounds."""
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(p * self.count))
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= rank:
+                upper = _bucket_upper(index)
+                # clamp the estimate into the observed range
+                return min(max(upper, self.min), self.max)
+        return self.max  # pragma: no cover - unreachable
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min or 0.0,
+            "max": self.max or 0.0,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Histogram {self.name} n={self.count}>"
+
+
+class MetricsRegistry:
+    """All instruments of one simulation run, keyed by dotted name."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # instrument access (create on first use, then cached by the caller)
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    def counters_with_prefix(self, prefix: str) -> Dict[str, int]:
+        return {
+            name: c.value
+            for name, c in sorted(self._counters.items())
+            if name.startswith(prefix)
+        }
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """A deterministic, JSON-serialisable view of every instrument."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.summary() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, Dict]]) -> Dict[str, Dict]:
+    """Sum counters and combine histogram summaries across runs.
+
+    Gauges are last-write-wins; histogram summaries are merged approximately
+    (count/total-weighted mean, min/max exact, percentiles dropped since they
+    cannot be merged from summaries alone).
+    """
+    counters: Dict[str, int] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, Dict[str, float]] = {}
+    for snap in snapshots:
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snap.get("gauges", {}).items():
+            gauges[name] = value
+        for name, summary in snap.get("histograms", {}).items():
+            merged = histograms.get(name)
+            if merged is None:
+                histograms[name] = dict(summary)
+                continue
+            total_count = merged["count"] + summary["count"]
+            if total_count:
+                merged["mean"] = (
+                    merged["mean"] * merged["count"]
+                    + summary["mean"] * summary["count"]
+                ) / total_count
+            merged["count"] = total_count
+            if summary["count"]:
+                merged["min"] = (
+                    min(merged["min"], summary["min"]) if merged["count"] else summary["min"]
+                )
+                merged["max"] = max(merged["max"], summary["max"])
+            for quantile in ("p50", "p95", "p99"):
+                merged.pop(quantile, None)
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": dict(sorted(histograms.items())),
+    }

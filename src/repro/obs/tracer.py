@@ -1,0 +1,289 @@
+"""Causal tracing over the discrete-event simulator.
+
+The tracer produces **span** records stamped with virtual sim time.  Causal
+links come from two mechanisms:
+
+1. **Scheduler propagation** — the simulation kernel captures the active
+   :class:`ObsContext` whenever a callback is scheduled and restores it
+   around the callback's execution (see :mod:`repro.sim.core`).  Because
+   every cross-node hop in the simulator is a scheduled callback, the
+   context of the *sender* flows to the *receiver* without touching a
+   single message format (and therefore without perturbing message sizes
+   or timing).
+
+2. **Explicit parent stashing** — group-ordered delivery is triggered by
+   whichever protocol message unblocked it (a ticket, a later timestamp),
+   which is not the message's causal origin.  The sending session stashes
+   its send-span under the message id; the delivering session looks it up
+   and parents the delivery span explicitly.
+
+A context also carries **labels** — small key/value pairs that flow with
+causality even when span recording is disabled.  (Per-kind network hop
+attribution deliberately does *not* use labels: labels flow downstream
+through the scheduler, so a reply sent while processing a delivered message
+would inherit the request's kind.  Hop kinds are threaded explicitly via
+``Node.send(..., kind=...)`` instead.)
+
+Span ids are sequential integers; with a fixed seed two runs produce
+identical traces.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["Span", "ObsContext", "Tracer"]
+
+#: Upper bound on retained span records (a runaway-trace backstop; the
+#: exporter reports how many were dropped).
+MAX_SPANS = 500_000
+
+#: Upper bound on stashed message-id -> span parent links.
+MAX_STASH = 65_536
+
+
+class ObsContext:
+    """The ambient observability context: active span + causal labels."""
+
+    __slots__ = ("span", "labels")
+
+    def __init__(self, span: Optional["Span"], labels: Tuple[Tuple[str, Any], ...] = ()):
+        self.span = span
+        self.labels = labels
+
+    def label(self, key: str) -> Optional[Any]:
+        for name, value in self.labels:
+            if name == key:
+                return value
+        return None
+
+    def with_span(self, span: Optional["Span"]) -> "ObsContext":
+        return ObsContext(span, self.labels)
+
+    def with_label(self, key: str, value: Any) -> "ObsContext":
+        kept = tuple(pair for pair in self.labels if pair[0] != key)
+        return ObsContext(self.span, kept + ((key, value),))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ObsContext span={self.span!r} labels={dict(self.labels)}>"
+
+
+class Span:
+    """One traced operation: a named interval of virtual time on one node."""
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "kind",
+        "node",
+        "start",
+        "end",
+        "attrs",
+        "events",
+    )
+
+    def __init__(
+        self,
+        trace_id: int,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        kind: str,
+        node: Optional[str],
+        start: float,
+    ):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.kind = kind
+        self.node = node
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs: Dict[str, Any] = {}
+        self.events: List[Tuple[float, str, Dict[str, Any]]] = []
+
+    def to_record(self) -> Dict[str, Any]:
+        record = {
+            "type": "span",
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "node": self.node,
+            "start": self.start,
+            "end": self.end,
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        if self.events:
+            record["events"] = [
+                {"t": t, "name": name, **({"attrs": attrs} if attrs else {})}
+                for t, name, attrs in self.events
+            ]
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Span #{self.span_id} {self.name}@{self.node} t={self.start:.6f}>"
+
+
+class Tracer:
+    """Span recorder + context holder for one simulation run.
+
+    ``ctx`` is the ambient :class:`ObsContext` (or None).  The simulation
+    kernel snapshots and restores it around every scheduled callback; layer
+    code activates spans and pushes labels through the helpers below.
+
+    When ``enabled`` is False no spans are recorded and ``ctx`` carries only
+    labels — the tracing hot paths reduce to a couple of attribute reads.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None, enabled: bool = False):
+        self.clock = clock or (lambda: 0.0)
+        self.enabled = enabled
+        self.ctx: Optional[ObsContext] = None
+        self.spans: List[Span] = []
+        self.dropped = 0
+        self._next_id = 1
+        self._stash: "OrderedDict[Any, Span]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # span lifecycle
+    # ------------------------------------------------------------------
+    def start_span(
+        self,
+        name: str,
+        kind: str = "internal",
+        node: Optional[str] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+        parent: Any = "ambient",
+    ) -> Optional[Span]:
+        """Open a span.  ``parent`` defaults to the ambient span; pass an
+        explicit :class:`Span` (or None for a new trace root) to override.
+        Returns None when tracing is disabled."""
+        if not self.enabled:
+            return None
+        if parent == "ambient":
+            parent = self.ctx.span if self.ctx is not None else None
+        span_id = self._next_id
+        self._next_id += 1
+        trace_id = parent.trace_id if parent is not None else span_id
+        span = Span(
+            trace_id,
+            span_id,
+            parent.span_id if parent is not None else None,
+            name,
+            kind,
+            node,
+            self.clock(),
+        )
+        if attrs:
+            span.attrs.update(attrs)
+        if len(self.spans) < MAX_SPANS:
+            self.spans.append(span)
+        else:
+            self.dropped += 1
+        return span
+
+    def end_span(self, span: Optional[Span], **attrs: Any) -> None:
+        if span is None:
+            return
+        span.end = self.clock()
+        if attrs:
+            span.attrs.update(attrs)
+
+    # ------------------------------------------------------------------
+    # context activation
+    # ------------------------------------------------------------------
+    def activate(self, span: Optional[Span]) -> Optional[ObsContext]:
+        """Make ``span`` the ambient span; returns the token to restore()."""
+        prev = self.ctx
+        if span is not None:
+            self.ctx = prev.with_span(span) if prev is not None else ObsContext(span)
+        return prev
+
+    def restore(self, token: Optional[ObsContext]) -> None:
+        self.ctx = token
+
+    @contextmanager
+    def use(self, span: Optional[Span]):
+        token = self.activate(span)
+        try:
+            yield span
+        finally:
+            self.restore(token)
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        kind: str = "internal",
+        node: Optional[str] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+        parent: Any = "ambient",
+    ):
+        """start_span + activate; ends and restores on exit."""
+        span = self.start_span(name, kind=kind, node=node, attrs=attrs, parent=parent)
+        token = self.activate(span)
+        try:
+            yield span
+        finally:
+            self.end_span(span)
+            self.restore(token)
+
+    @property
+    def current_span(self) -> Optional[Span]:
+        return self.ctx.span if self.ctx is not None else None
+
+    # ------------------------------------------------------------------
+    # labels (flow with causality even when span recording is off)
+    # ------------------------------------------------------------------
+    def push_label(self, key: str, value: Any) -> Optional[ObsContext]:
+        """Attach a causal label; returns the token to restore()."""
+        prev = self.ctx
+        base = prev if prev is not None else ObsContext(None)
+        self.ctx = base.with_label(key, value)
+        return prev
+
+    def label(self, key: str) -> Optional[Any]:
+        return self.ctx.label(key) if self.ctx is not None else None
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+    def event(self, name: str, span: Optional[Span] = None, **attrs: Any) -> None:
+        """Record a point-in-time event on ``span`` (default: ambient span)."""
+        if not self.enabled:
+            return
+        target = span if span is not None else self.current_span
+        if target is not None:
+            target.events.append((self.clock(), name, attrs))
+
+    # ------------------------------------------------------------------
+    # cross-message parent links
+    # ------------------------------------------------------------------
+    def stash_parent(self, key: Any, span: Optional[Span]) -> None:
+        """Remember ``span`` as the causal parent for deliveries of ``key``."""
+        if span is None:
+            return
+        self._stash[key] = span
+        while len(self._stash) > MAX_STASH:
+            self._stash.popitem(last=False)
+
+    def stashed_parent(self, key: Any) -> Optional[Span]:
+        return self._stash.get(key)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def records(self) -> List[Dict[str, Any]]:
+        return [span.to_record() for span in self.spans]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "on" if self.enabled else "off"
+        return f"<Tracer {state} spans={len(self.spans)}>"

@@ -88,12 +88,15 @@ class ORB:
         args: Tuple = (),
         oneway: bool = False,
         timeout: Optional[float] = None,
+        net_kind: Optional[str] = None,
     ) -> Future:
         """Invoke ``operation(*args)`` on the servant named by ``target``.
 
         Returns a future with the reply value.  Oneway invocations resolve
         (with None) as soon as the request has been handed to the transport.
         On ``timeout`` (seconds) the future fails with :class:`CommFailure`.
+        ``net_kind`` attributes the request's network hop to a protocol
+        message kind for per-kind traffic accounting (see ``NetworkStats``).
         """
         if target.node == self.node.name:
             return self._invoke_local(target, operation, args, oneway)
@@ -106,14 +109,14 @@ class ORB:
         size = len(data) + GIOP_OVERHEAD
 
         if oneway:
-            self.node.send(target.node, self.SERVICE, data, size)
+            self.node.send(target.node, self.SERVICE, data, size, kind=net_kind)
             done = Future(name=f"oneway:{operation}")
             done.resolve(None)
             return done
 
         fut = Future(name=f"invoke:{target.node}.{operation}#{request_id}")
         self._pending[request_id] = fut
-        self.node.send(target.node, self.SERVICE, data, size)
+        self.node.send(target.node, self.SERVICE, data, size, kind=net_kind)
         if timeout is None:
             return fut
         wrapped = with_timeout(self.sim, fut, timeout)

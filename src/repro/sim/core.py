@@ -9,6 +9,11 @@ Determinism matters for a protocol testbed: two runs with the same seed must
 produce identical histories.  The kernel therefore breaks timestamp ties by
 insertion order, and all randomness flows through named, seeded streams
 (:mod:`repro.sim.rng`).
+
+The kernel is also the root of the observability layer (:mod:`repro.obs`):
+every scheduled event snapshots the active trace context and restores it
+around the callback's execution, so causality flows through the event loop
+— across CPU queues and network hops — without any message-format changes.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ import heapq
 import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.obs import Observability, observability_from_global_options
 from repro.sim.rng import RngRegistry
 
 __all__ = ["Simulator", "ScheduledEvent", "SimulationError"]
@@ -33,14 +39,15 @@ class ScheduledEvent:
     reaches the head.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "ctx")
 
-    def __init__(self, time: float, seq: int, fn: Callable, args: Tuple):
+    def __init__(self, time: float, seq: int, fn: Callable, args: Tuple, ctx=None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.ctx = ctx  # trace context captured at schedule time
 
     def cancel(self) -> None:
         """Prevent the callback from running.  Idempotent."""
@@ -66,7 +73,7 @@ class Simulator:
     Time is in **seconds** (floats).  Milliseconds in reports are derived.
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, obs: Optional[Observability] = None):
         self._now = 0.0
         self._queue: List[ScheduledEvent] = []
         self._seq = itertools.count()
@@ -74,6 +81,8 @@ class Simulator:
         self.seed = seed
         self._running = False
         self._events_processed = 0
+        self.obs = (obs or observability_from_global_options()).bind(self)
+        self._tracer = self.obs.tracer
 
     # ------------------------------------------------------------------
     # clock
@@ -110,7 +119,7 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time} before now={self._now}"
             )
-        ev = ScheduledEvent(time, next(self._seq), fn, args)
+        ev = ScheduledEvent(time, next(self._seq), fn, args, self._tracer.ctx)
         heapq.heappush(self._queue, ev)
         return ev
 
@@ -123,13 +132,19 @@ class Simulator:
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Execute the next pending event.  Return False if the queue is empty."""
+        tracer = self._tracer
         while self._queue:
             ev = heapq.heappop(self._queue)
             if ev.cancelled:
                 continue
             self._now = ev.time
             self._events_processed += 1
-            ev.fn(*ev.args)
+            prev_ctx = tracer.ctx
+            tracer.ctx = ev.ctx
+            try:
+                ev.fn(*ev.args)
+            finally:
+                tracer.ctx = prev_ctx
             return True
         return False
 
@@ -145,6 +160,7 @@ class Simulator:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         executed = 0
+        tracer = self._tracer
         try:
             while self._queue:
                 ev = self._queue[0]
@@ -159,7 +175,12 @@ class Simulator:
                 self._now = ev.time
                 self._events_processed += 1
                 executed += 1
-                ev.fn(*ev.args)
+                prev_ctx = tracer.ctx
+                tracer.ctx = ev.ctx
+                try:
+                    ev.fn(*ev.args)
+                finally:
+                    tracer.ctx = prev_ctx
             if until is not None and self._now < until:
                 self._now = until
         finally:

@@ -41,6 +41,7 @@ class Process(Future):
         super().__init__(name=name or getattr(gen, "__name__", "process"))
         self._sim = sim
         self._gen = gen
+        sim.obs.metrics.counter("sim.processes_spawned").inc()
         sim.call_soon(self._step, None, None)
 
     def _step(self, value: Any, exc: Optional[BaseException]) -> None:
@@ -52,9 +53,11 @@ class Process(Future):
                 else:
                     awaited = self._gen.send(value)
             except StopIteration as stop:
+                self._sim.obs.metrics.counter("sim.processes_completed").inc()
                 self.resolve(stop.value)
                 return
             except BaseException as err:  # noqa: BLE001 - propagate via future
+                self._sim.obs.metrics.counter("sim.processes_failed").inc()
                 self.fail(err)
                 return
             if not isinstance(awaited, Future):

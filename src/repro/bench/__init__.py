@@ -13,7 +13,13 @@ from repro.bench.harness import (
 )
 from repro.bench.report import format_graph, format_table, print_graph, print_table
 from repro.bench.stats import LatencySample, Point, Series, summarize
-from repro.bench.workloads import ClosedLoopClient, PeerMember, PeerTracker, run_until_done
+from repro.bench.workloads import (
+    ClosedLoopClient,
+    OpenLoopClient,
+    PeerMember,
+    PeerTracker,
+    run_until_done,
+)
 
 __all__ = [
     "Environment",
@@ -31,6 +37,7 @@ __all__ = [
     "Series",
     "summarize",
     "ClosedLoopClient",
+    "OpenLoopClient",
     "PeerMember",
     "PeerTracker",
     "run_until_done",

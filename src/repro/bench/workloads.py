@@ -11,27 +11,51 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.core import GroupBinding, Mode
-from repro.sim import Future, Simulator, spawn
+from repro.sim import Future, Simulator, all_of, sleep, spawn
 from repro.bench.stats import LatencySample
 
 __all__ = [
     "ClosedLoopClient",
+    "OpenLoopClient",
     "PeerTracker",
     "PeerMember",
     "run_until_done",
 ]
 
 
-def run_until_done(sim: Simulator, futures: List[Future], deadline: float, step: float = 0.25) -> None:
+def run_until_done(
+    sim: Simulator,
+    futures: List[Future],
+    deadline: float,
+    step: Optional[float] = None,
+    max_events: int = 2048,
+) -> None:
     """Run the simulator until all futures resolve or ``deadline`` passes.
 
     (Plain ``sim.run()`` never returns in lively groups — heartbeat timers
     reschedule forever — so experiments advance in bounded slices.)
+
+    Slices are **event-count-bounded** (``max_events`` callbacks per
+    slice), not fixed time slices: an idle stretch costs nothing extra,
+    and a busy group is checked at a granularity that tracks its own
+    activity — long scenarios no longer pay O(deadline/step) wakeups.
+    ``step``, if given, additionally caps a slice's time extent (the old
+    fixed-slice behaviour for callers that need a bounded overshoot past
+    the moment the futures resolve).
     """
+    pending = [f for f in futures if not f.done]
     while sim.now < deadline:
-        if all(f.done for f in futures):
+        pending = [f for f in pending if not f.done]
+        if not pending:
             return
-        sim.run(until=min(deadline, sim.now + step))
+        until = deadline if step is None else min(deadline, sim.now + step)
+        before = sim.events_processed
+        sim.run(until=until, max_events=max_events)
+        if sim.events_processed == before and sim.now >= until:
+            # nothing left to execute before the cap: the queue is drained
+            # (sim.run advanced the clock) or only post-deadline events remain
+            if until >= deadline:
+                break
     if not all(f.done for f in futures):
         unfinished = [f.name for f in futures if not f.done]
         raise RuntimeError(f"workload did not finish by t={deadline}: {unfinished}")
@@ -93,6 +117,88 @@ class ClosedLoopClient:
         if self.first_timed_start is None or self.last_completion is None:
             return 0.0
         return self.last_completion - self.first_timed_start
+
+
+class OpenLoopClient:
+    """Issues requests on an arrival process, without waiting for replies.
+
+    A thin wrapper over :mod:`repro.scenario.arrivals` so existing
+    benchmarks can opt into open-loop (e.g. Poisson) load without adopting
+    the whole scenario engine: pass ``rate`` for Poisson arrivals or any
+    :class:`~repro.scenario.arrivals.ArrivalProcess` via ``process``.
+
+    ``done`` resolves once all ``requests`` issued invocations have
+    completed or failed (per-request ``timeout`` guarantees termination).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        binding: GroupBinding,
+        rate: float = 10.0,
+        process=None,
+        operation: str = "draw",
+        args: Tuple = (),
+        mode: str = Mode.FIRST,
+        requests: int = 100,
+        timeout: float = 15.0,
+        rng_name: Optional[str] = None,
+    ):
+        # lazy import: repro.scenario.runner imports this module, so a
+        # module-level import here would be circular
+        from repro.scenario.arrivals import PoissonArrivals
+
+        self.sim = sim
+        self.binding = binding
+        self.process = process or PoissonArrivals(rate)
+        self.operation = operation
+        self.args = args
+        self.mode = mode
+        self.requests = requests
+        self.timeout = timeout
+        self.latencies = LatencySample()
+        self.errors = 0
+        self.in_flight = 0
+        self.issued = 0
+        self._rng = sim.rng(rng_name or f"openloop:{binding.client_id}")
+        self._outstanding_done = Future(name=f"openloop:{binding.client_id}")
+        self._issuing = spawn(sim, self._loop(), name=f"openloop:{binding.client_id}")
+        self.done = all_of([self._issuing, self._outstanding_done])
+
+    def _loop(self):
+        from repro.scenario.arrivals import next_arrival
+
+        start = self.sim.now
+        elapsed = 0.0
+        for _ in range(self.requests):
+            arrival = next_arrival(self.process, elapsed, self._rng)
+            yield sleep(self.sim, (start + arrival) - self.sim.now)
+            elapsed = arrival
+            self._issue()
+        self._maybe_finish()
+        return self.latencies
+
+    def _issue(self) -> None:
+        self.issued += 1
+        self.in_flight += 1
+        issued_at = self.sim.now
+        future = self.binding.invoke(
+            self.operation, self.args, mode=self.mode, timeout=self.timeout
+        )
+
+        def on_done(fut: Future, start=issued_at) -> None:
+            self.in_flight -= 1
+            if fut.failed:
+                self.errors += 1
+            else:
+                self.latencies.add(self.sim.now - start)
+            self._maybe_finish()
+
+        future.add_done_callback(on_done)
+
+    def _maybe_finish(self) -> None:
+        if self.issued >= self.requests and self.in_flight == 0:
+            self._outstanding_done.try_resolve(None)
 
 
 class PeerTracker:

@@ -174,6 +174,28 @@ class MetricsRegistry:
         return instrument
 
     # ------------------------------------------------------------------
+    # read-side accessors (SLO evaluation, report building)
+    # ------------------------------------------------------------------
+    def counter_value(self, name: str, default: int = 0) -> int:
+        """Current value of a counter; ``default`` if it was never created.
+
+        Read-only: unlike :meth:`counter`, a miss does not register an
+        instrument, so probing names cannot perturb snapshots.
+        """
+        instrument = self._counters.get(name)
+        return instrument.value if instrument is not None else default
+
+    def gauge_value(self, name: str, default: float = 0.0) -> float:
+        """Current value of a gauge; ``default`` if it was never created."""
+        instrument = self._gauges.get(name)
+        return instrument.value if instrument is not None else default
+
+    def histogram_summary(self, name: str) -> Optional[Dict[str, float]]:
+        """Summary dict of a histogram, or ``None`` if it was never created."""
+        instrument = self._histograms.get(name)
+        return instrument.summary() if instrument is not None else None
+
+    # ------------------------------------------------------------------
     # snapshots
     # ------------------------------------------------------------------
     def counters_with_prefix(self, prefix: str) -> Dict[str, int]:

@@ -1,0 +1,166 @@
+"""Declarative fault schedules executed against :mod:`repro.net`.
+
+A schedule is a timeline of fault events — ``crash``, ``recover``,
+``partition``, ``heal``, ``slow_node`` — applied at absolute offsets from
+traffic start.  The paper's failure cases (§4.2's manager crash, the
+partition behaviour of §3) were hand-run; a schedule makes them scripted,
+repeatable ingredients of a scenario.
+
+Targets are node names (``"s0"``), or the symbolic target ``"manager"``
+which the runner resolves at fire time to the current request manager of
+the scenario's first binding — so "crash whoever is the manager right now"
+survives rebinding and restarts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.net import Network
+from repro.sim import Simulator
+
+__all__ = ["FaultEvent", "FaultSchedule", "FAULT_KINDS"]
+
+FAULT_KINDS = ("crash", "recover", "partition", "heal", "slow_node")
+
+
+class FaultEvent:
+    """One scheduled fault.
+
+    Fields by kind:
+
+    - ``crash`` / ``recover`` — ``target`` (node name or ``"manager"``);
+    - ``partition`` — ``groups`` (list of node-name lists) *or* ``sites``
+      (list of site-name lists); unlisted nodes form the final group;
+    - ``heal`` — no operands;
+    - ``slow_node`` — ``target`` plus ``factor`` (CPU costs multiply by
+      this; 1.0 restores full speed) and optional ``duration`` after which
+      the node auto-restores.
+    """
+
+    __slots__ = ("at", "kind", "target", "groups", "sites", "factor", "duration")
+
+    def __init__(
+        self,
+        at: float,
+        kind: str,
+        target: Optional[str] = None,
+        groups: Optional[Sequence[Sequence[str]]] = None,
+        sites: Optional[Sequence[Sequence[str]]] = None,
+        factor: Optional[float] = None,
+        duration: Optional[float] = None,
+    ):
+        if at < 0:
+            raise ValueError(f"fault time must be >= 0, got {at}")
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}; expected {FAULT_KINDS}")
+        if kind in ("crash", "recover", "slow_node") and not target:
+            raise ValueError(f"fault {kind!r} requires a target")
+        if kind == "partition" and (groups is None) == (sites is None):
+            raise ValueError("partition requires exactly one of groups/sites")
+        if kind == "slow_node":
+            if factor is None or factor <= 0:
+                raise ValueError("slow_node requires factor > 0")
+            if duration is not None and duration <= 0:
+                raise ValueError("slow_node duration must be > 0")
+        self.at = float(at)
+        self.kind = kind
+        self.target = target
+        self.groups = [list(g) for g in groups] if groups is not None else None
+        self.sites = [list(g) for g in sites] if sites is not None else None
+        self.factor = factor
+        self.duration = duration
+
+    @classmethod
+    def from_dict(cls, spec: Dict) -> "FaultEvent":
+        allowed = {"at", "kind", "target", "groups", "sites", "factor", "duration"}
+        unknown = set(spec) - allowed
+        if unknown:
+            raise ValueError(f"fault spec has unknown keys {sorted(unknown)}")
+        if "at" not in spec or "kind" not in spec:
+            raise ValueError(f"fault spec needs 'at' and 'kind': {spec!r}")
+        return cls(**spec)
+
+    def to_dict(self) -> Dict:
+        out: Dict = {"at": self.at, "kind": self.kind}
+        if self.target is not None:
+            out["target"] = self.target
+        if self.groups is not None:
+            out["groups"] = self.groups
+        if self.sites is not None:
+            out["sites"] = self.sites
+        if self.factor is not None:
+            out["factor"] = self.factor
+        if self.duration is not None:
+            out["duration"] = self.duration
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<FaultEvent t={self.at} {self.kind} {self.target or ''}>"
+
+
+class FaultSchedule:
+    """Installs fault events onto a simulator and records what fired."""
+
+    def __init__(self, events: Sequence[FaultEvent]):
+        self.events = sorted(events, key=lambda ev: ev.at)
+        #: executed events: ``{"at": offset_from_install, "kind": ..., ...}``
+        self.log: List[Dict] = []
+        self._base = 0.0
+
+    @classmethod
+    def from_specs(cls, specs: Sequence[Dict]) -> "FaultSchedule":
+        return cls([FaultEvent.from_dict(spec) for spec in specs])
+
+    def install(
+        self,
+        sim: Simulator,
+        net: Network,
+        resolve_target: Optional[Callable[[str], str]] = None,
+    ) -> None:
+        """Schedule every event relative to the current virtual time.
+
+        ``resolve_target`` maps symbolic targets (``"manager"``) to node
+        names at fire time.
+        """
+        self._base = sim.now
+        metrics = sim.obs.metrics
+        for event in self.events:
+            sim.schedule(event.at, self._fire, sim, net, event, resolve_target, metrics)
+
+    def _fire(self, sim, net, event: FaultEvent, resolve_target, metrics) -> None:
+        target = event.target
+        if target is not None and resolve_target is not None:
+            target = resolve_target(target)
+        entry: Dict = {"at": event.at, "kind": event.kind}
+        if event.kind == "crash":
+            net.crash(target)
+            entry["target"] = target
+        elif event.kind == "recover":
+            net.recover(target)
+            entry["target"] = target
+        elif event.kind == "partition":
+            if event.sites is not None:
+                net.partition_sites(*event.sites)
+                entry["sites"] = event.sites
+            else:
+                net.partition(*event.groups)
+                entry["groups"] = event.groups
+        elif event.kind == "heal":
+            net.heal()
+        elif event.kind == "slow_node":
+            net.slow_node(target, event.factor)
+            entry["target"] = target
+            entry["factor"] = event.factor
+            if event.duration is not None:
+                entry["duration"] = event.duration
+                sim.schedule(event.duration, self._restore, sim, net, target)
+        metrics.counter(f"scenario.fault.{event.kind}").inc()
+        self.log.append(entry)
+
+    def _restore(self, sim, net, target: str) -> None:
+        net.slow_node(target, 1.0)
+        sim.obs.metrics.counter("scenario.fault.slow_node_restored").inc()
+        self.log.append(
+            {"at": sim.now - self._base, "kind": "slow_node_restored", "target": target}
+        )

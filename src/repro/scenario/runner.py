@@ -1,0 +1,265 @@
+"""Scenario execution: spec in, machine-readable report out.
+
+The runner builds the simulated deployment described by a
+:class:`~repro.scenario.spec.ScenarioSpec`, lets the groups form, installs
+the fault schedule, drives open-loop traffic, waits for the in-flight
+tail, evaluates the SLOs, and returns a JSON-serialisable report.
+
+Everything in the report is derived from the deterministic simulation, so
+two runs of the same spec are byte-identical — except for the single
+``wall_time_s`` field, which records real execution time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.bench.env import Environment
+from repro.bench.stats import summarize
+from repro.bench.workloads import PeerTracker, run_until_done
+from repro.apps.chat import make_peer_config
+from repro.apps.randserver import RandomNumberServant
+from repro.core.modes import BindingStyle
+from repro.groupcomm.config import GroupConfig, Liveliness
+from repro.scenario.arrivals import arrival_process_from_spec
+from repro.scenario.faults import FaultSchedule
+from repro.scenario.slo import SloContext, build_slos, evaluate_slos
+from repro.scenario.spec import ScenarioSpec, load_spec
+from repro.scenario.traffic import OpenLoopGenerator, Population
+from repro.sim import Future, with_timeout
+
+__all__ = ["run_scenario", "ScenarioError", "REPORT_VERSION"]
+
+REPORT_VERSION = 1
+
+SERVICE_NAME = "svc"
+
+
+class ScenarioError(RuntimeError):
+    """Raised when a scenario cannot be set up (not an SLO failure)."""
+
+
+def run_scenario(source, obs=None) -> Dict:
+    """Run one scenario and return its report dict.
+
+    ``source`` is a :class:`ScenarioSpec`, a spec dict, or a path to a
+    JSON spec file.  ``obs`` optionally injects an explicit
+    :class:`repro.obs.Observability` (e.g. with tracing enabled).
+    """
+    spec = load_spec(source)
+    started_wall = time.monotonic()
+    env = Environment(config=spec.topology, seed=spec.seed, obs=obs)
+    sim = env.sim
+
+    if spec.traffic.workload == "peer":
+        issuers, resolve_target = _setup_peer(env, spec)
+    else:
+        issuers, resolve_target = _setup_request_reply(env, spec)
+
+    schedule = FaultSchedule(spec.faults)
+    schedule.install(sim, env.net, resolve_target)
+
+    process = arrival_process_from_spec(spec.traffic.arrivals)
+    churn = spec.traffic.churn
+    population = Population(
+        initial=churn.initial,
+        steps=churn.steps,
+        join_rate=churn.join_rate,
+        leave_rate=churn.leave_rate,
+        min_clients=churn.min_clients,
+        max_clients=churn.max_clients,
+        rng=sim.rng("scenario.churn"),
+    )
+    generator = OpenLoopGenerator(
+        sim,
+        issuers,
+        process,
+        population,
+        duration=spec.traffic.duration,
+        max_in_flight=spec.traffic.max_in_flight,
+    ).start()
+
+    traffic_start = sim.now
+    deadline = traffic_start + spec.traffic.duration + spec.traffic.drain
+    drained = True
+    try:
+        run_until_done(sim, [generator.finished], deadline=deadline)
+    except RuntimeError:
+        drained = False  # lost in-flight requests: the accounting SLO fails
+
+    snapshot = sim.obs.metrics_snapshot()
+    ctx = SloContext(sim.obs.metrics, generator.stats, snapshot)
+    verdicts = evaluate_slos(build_slos(spec.slos), ctx)
+    passed = all(verdict["ok"] for verdict in verdicts)
+
+    latencies = sorted(latency for _at, latency in generator.stats.samples)
+    latency_summary = {
+        key: (value * 1e3 if key != "count" else value)
+        for key, value in summarize(latencies).items()
+    }
+
+    counters = snapshot.get("counters", {})
+    report = {
+        "report_version": REPORT_VERSION,
+        "scenario": spec.name,
+        "description": spec.description,
+        "seed": spec.seed,
+        "topology": spec.topology,
+        "workload": spec.traffic.workload,
+        "sim": {
+            "virtual_end": sim.now,
+            "traffic_start": traffic_start,
+            "events_processed": sim.events_processed,
+            "drained": drained,
+        },
+        "traffic": {
+            **generator.stats.snapshot(),
+            "latency_ms": latency_summary,
+            "population": population.describe(),
+        },
+        "faults": schedule.log,
+        "slos": verdicts,
+        "metrics": {
+            "counters": {
+                name: value
+                for name, value in counters.items()
+                if name.split(".", 1)[0]
+                in ("gc", "net", "client", "server", "scenario")
+            },
+            "histograms": {
+                name: snapshot["histograms"][name]
+                for name in ("scenario.latency", "node.cpu_queue_delay")
+                if name in snapshot.get("histograms", {})
+            },
+        },
+        "passed": passed,
+        "wall_time_s": round(time.monotonic() - started_wall, 3),
+    }
+    return report
+
+
+# ---------------------------------------------------------------------------
+# deployment wiring
+# ---------------------------------------------------------------------------
+def _group_config(spec: ScenarioSpec, sequencer_hint: str) -> GroupConfig:
+    group = spec.group
+    return GroupConfig(
+        ordering=group.ordering,
+        liveliness=group.liveliness,
+        silence_period=group.silence_period,
+        suspicion_timeout=group.suspicion_timeout,
+        flush_timeout=group.flush_timeout,
+        sequencer_hint=sequencer_hint,
+    )
+
+
+def _setup_request_reply(env: Environment, spec: ScenarioSpec):
+    """Replicated service + client attachment bindings; returns issuers."""
+    sim = env.sim
+    group = spec.group
+    traffic = spec.traffic
+    env.serve_replicas(
+        SERVICE_NAME,
+        RandomNumberServant,
+        group.replicas,
+        policy=group.policy,
+        config=_group_config(spec, "s0"),
+        async_forwarding=group.async_forwarding,
+    )
+    clients = env.add_clients(traffic.bindings)
+    bindings = []
+    for service in clients:
+        bindings.append(
+            service.bind(
+                SERVICE_NAME,
+                style=group.style,
+                ordering=group.ordering,
+                liveliness=group.liveliness,
+                restricted=group.restricted,
+                suspicion_timeout=group.suspicion_timeout,
+                flush_timeout=group.flush_timeout,
+            )
+        )
+        env.run(0.05)
+    env.settle(max(spec.settle, 0.5))
+    for binding in bindings:
+        if not binding.ready.done:
+            raise ScenarioError(f"binding failed to become ready: {binding!r}")
+
+    def issuer_for(binding) -> Callable[[], Future]:
+        def issue() -> Future:
+            return binding.invoke(
+                traffic.operation, (), mode=traffic.mode, timeout=traffic.timeout
+            )
+
+        return issue
+
+    issuers = [issuer_for(binding) for binding in bindings]
+
+    def resolve_target(name: str) -> str:
+        if name == "manager":
+            manager = bindings[0].manager
+            return manager if manager else "s0"
+        return name
+
+    return issuers, resolve_target
+
+
+def _setup_peer(env: Environment, spec: ScenarioSpec):
+    """A lively peer group; each arrival is one multicast, completion is
+    group-wide delivery (tracked like the §5.2 experiments)."""
+    sim = env.sim
+    members = max(2, spec.group.replicas)
+    services = env.add_peers(members)
+    config = make_peer_config(
+        ordering=spec.group.ordering,
+        silence_period=spec.group.silence_period,
+        suspicion_timeout=max(spec.group.suspicion_timeout, 100e-3),
+    )
+    sessions = [services[0].create_peer_group("conf", config)]
+    for service in services[1:]:
+        sessions.append(service.join_peer_group("conf", services[0].name))
+        env.run(0.2)
+    env.settle(max(spec.settle, 1.0))
+    for session in sessions:
+        if not session.joined.done:
+            raise ScenarioError(f"peer failed to join: {session!r}")
+    tracker = PeerTracker([session.member_id for session in sessions])
+    for session in sessions:
+        _wire_tracker(session, tracker)
+
+    counters = [0] * len(sessions)
+    traffic = spec.traffic
+
+    def issuer_for(index: int) -> Callable[[], Future]:
+        session = sessions[index]
+
+        def issue() -> Future:
+            counters[index] += 1
+            tag = f"{session.member_id}:{counters[index]}"
+            body = tag.ljust(traffic.payload_chars, ".")
+            delivered = tracker.expect(tag)
+            session.send(body)
+            return with_timeout(sim, delivered, traffic.timeout)
+
+        return issue
+
+    issuers = [issuer_for(i) for i in range(len(sessions))]
+
+    def resolve_target(name: str) -> str:
+        if name == "manager":  # the peer group's sequencer-equivalent
+            return sessions[0].member_id
+        return name
+
+    return issuers, resolve_target
+
+
+def _wire_tracker(session, tracker: PeerTracker) -> None:
+    member = session.member_id
+
+    def on_deliver(sender: str, payload) -> None:
+        tag = str(payload).split(".", 1)[0].rstrip(".")
+        tracker.delivered(member, tag)
+
+    session.on_deliver = on_deliver

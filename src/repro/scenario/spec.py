@@ -1,0 +1,238 @@
+"""Scenario specifications: dataclasses plus a JSON/dict loader.
+
+A :class:`ScenarioSpec` binds together everything one reproducible run
+needs: a topology preset, a group configuration (binding style, ordering,
+restriction, forwarding, replication policy), an open-loop traffic
+description (arrival process, virtual-client population and churn), a
+fault schedule, and the SLOs that decide the verdict.  Specs round-trip
+through plain dicts/JSON so canned scenarios live as data under
+``examples/scenarios/``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.modes import BindingStyle, Mode, ReplicationPolicy
+from repro.groupcomm.config import Liveliness, Ordering
+from repro.scenario.arrivals import arrival_process_from_spec
+from repro.scenario.faults import FaultEvent
+from repro.scenario.slo import build_slos
+
+__all__ = ["GroupSpec", "ChurnSpec", "TrafficSpec", "ScenarioSpec", "load_spec"]
+
+TOPOLOGIES = ("lan", "mixed", "wan")
+WORKLOADS = ("request_reply", "peer")
+
+
+def _check_keys(section: str, data: Dict, allowed: Sequence[str]) -> None:
+    unknown = set(data) - set(allowed)
+    if unknown:
+        raise ValueError(
+            f"{section} spec has unknown keys {sorted(unknown)}; allowed: {sorted(allowed)}"
+        )
+
+
+def _check_choice(section: str, name: str, value: str, choices: Sequence[str]) -> str:
+    if value not in choices:
+        raise ValueError(f"{section}.{name} must be one of {tuple(choices)}, got {value!r}")
+    return value
+
+
+@dataclass
+class GroupSpec:
+    """The served group and how clients bind to it."""
+
+    replicas: int = 3
+    style: str = BindingStyle.OPEN
+    ordering: str = Ordering.ASYMMETRIC
+    restricted: bool = True
+    async_forwarding: bool = False
+    policy: str = ReplicationPolicy.ACTIVE
+    liveliness: str = Liveliness.EVENT_DRIVEN
+    suspicion_timeout: float = 10.0
+    flush_timeout: float = 5.0
+    silence_period: float = 50e-3
+
+    _FIELDS = (
+        "replicas", "style", "ordering", "restricted", "async_forwarding",
+        "policy", "liveliness", "suspicion_timeout", "flush_timeout",
+        "silence_period",
+    )
+
+    def __post_init__(self):
+        if self.replicas < 1:
+            raise ValueError("group.replicas must be >= 1")
+        _check_choice("group", "style", self.style, BindingStyle.ALL_STYLES)
+        _check_choice("group", "ordering", self.ordering, Ordering.ALL)
+        _check_choice("group", "policy", self.policy, ReplicationPolicy.ALL_POLICIES)
+        _check_choice("group", "liveliness", self.liveliness, Liveliness.ALL)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "GroupSpec":
+        _check_keys("group", data, cls._FIELDS)
+        return cls(**data)
+
+    def to_dict(self) -> Dict:
+        return {name: getattr(self, name) for name in self._FIELDS}
+
+
+@dataclass
+class ChurnSpec:
+    """Virtual-client population and how it changes over the run."""
+
+    initial: int = 1
+    steps: List[Dict] = field(default_factory=list)
+    join_rate: float = 0.0
+    leave_rate: float = 0.0
+    min_clients: int = 0
+    max_clients: Optional[int] = None
+
+    _FIELDS = ("initial", "steps", "join_rate", "leave_rate", "min_clients", "max_clients")
+
+    def __post_init__(self):
+        if self.initial < 0:
+            raise ValueError("churn.initial must be >= 0")
+        stochastic = self.join_rate > 0 or self.leave_rate > 0
+        if stochastic and self.max_clients is None:
+            raise ValueError("churn.max_clients is required with stochastic churn rates")
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ChurnSpec":
+        _check_keys("churn", data, cls._FIELDS)
+        return cls(**data)
+
+    def to_dict(self) -> Dict:
+        out = {name: getattr(self, name) for name in self._FIELDS}
+        if out["max_clients"] is None:
+            del out["max_clients"]
+        return out
+
+
+@dataclass
+class TrafficSpec:
+    """Open-loop traffic: what is offered, for how long, through what."""
+
+    arrivals: Dict = field(default_factory=lambda: {"kind": "poisson", "rate": 1.0})
+    churn: ChurnSpec = field(default_factory=ChurnSpec)
+    duration: float = 10.0
+    drain: float = 30.0
+    workload: str = "request_reply"
+    operation: str = "draw"
+    mode: str = Mode.FIRST
+    timeout: float = 15.0
+    bindings: int = 2
+    max_in_flight: Optional[int] = None
+    payload_chars: int = 100
+
+    _FIELDS = (
+        "arrivals", "churn", "duration", "drain", "workload", "operation",
+        "mode", "timeout", "bindings", "max_in_flight", "payload_chars",
+    )
+
+    def __post_init__(self):
+        arrival_process_from_spec(self.arrivals)  # validate eagerly
+        if self.duration <= 0:
+            raise ValueError("traffic.duration must be > 0")
+        if self.drain < 0:
+            raise ValueError("traffic.drain must be >= 0")
+        _check_choice("traffic", "workload", self.workload, WORKLOADS)
+        _check_choice("traffic", "mode", self.mode, Mode.ALL_MODES)
+        if self.timeout <= 0:
+            raise ValueError("traffic.timeout must be > 0")
+        if self.bindings < 1:
+            raise ValueError("traffic.bindings must be >= 1")
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TrafficSpec":
+        _check_keys("traffic", data, cls._FIELDS)
+        data = dict(data)
+        if "churn" in data:
+            data["churn"] = ChurnSpec.from_dict(data["churn"])
+        return cls(**data)
+
+    def to_dict(self) -> Dict:
+        out = {name: getattr(self, name) for name in self._FIELDS}
+        out["churn"] = self.churn.to_dict()
+        if out["max_in_flight"] is None:
+            del out["max_in_flight"]
+        return out
+
+
+@dataclass
+class ScenarioSpec:
+    """One complete, reproducible scenario."""
+
+    name: str
+    description: str = ""
+    seed: int = 42
+    topology: str = "lan"
+    settle: float = 2.0
+    group: GroupSpec = field(default_factory=GroupSpec)
+    traffic: TrafficSpec = field(default_factory=TrafficSpec)
+    faults: List[FaultEvent] = field(default_factory=list)
+    slos: List[Dict] = field(default_factory=list)
+
+    _FIELDS = (
+        "name", "description", "seed", "topology", "settle", "group",
+        "traffic", "faults", "slos",
+    )
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("scenario.name is required")
+        _check_choice("scenario", "topology", self.topology, TOPOLOGIES)
+        if self.settle < 0:
+            raise ValueError("scenario.settle must be >= 0")
+        build_slos(self.slos)  # validate eagerly
+        for fault in self.faults:
+            if fault.at > self.traffic.duration + self.traffic.drain:
+                raise ValueError(
+                    f"fault at t={fault.at} fires after the run window "
+                    f"({self.traffic.duration + self.traffic.drain}s)"
+                )
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ScenarioSpec":
+        _check_keys("scenario", data, cls._FIELDS)
+        data = dict(data)
+        if "group" in data:
+            data["group"] = GroupSpec.from_dict(data["group"])
+        if "traffic" in data:
+            data["traffic"] = TrafficSpec.from_dict(data["traffic"])
+        if "faults" in data:
+            data["faults"] = [FaultEvent.from_dict(f) for f in data["faults"]]
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, path: str) -> "ScenarioSpec":
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                data = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}: invalid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "seed": self.seed,
+            "topology": self.topology,
+            "settle": self.settle,
+            "group": self.group.to_dict(),
+            "traffic": self.traffic.to_dict(),
+            "faults": [fault.to_dict() for fault in self.faults],
+            "slos": list(self.slos),
+        }
+
+
+def load_spec(source) -> ScenarioSpec:
+    """Load a spec from a dict or a path to a JSON file."""
+    if isinstance(source, ScenarioSpec):
+        return source
+    if isinstance(source, dict):
+        return ScenarioSpec.from_dict(source)
+    return ScenarioSpec.from_json(str(source))

@@ -160,6 +160,7 @@ class Simulator:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         executed = 0
+        hit_cap = False
         tracer = self._tracer
         try:
             while self._queue:
@@ -170,6 +171,9 @@ class Simulator:
                 if until is not None and ev.time > until:
                     break
                 if max_events is not None and executed >= max_events:
+                    # events <= until remain unprocessed: the clock must NOT
+                    # jump to until, or they would fire "in the past"
+                    hit_cap = True
                     break
                 heapq.heappop(self._queue)
                 self._now = ev.time
@@ -181,7 +185,7 @@ class Simulator:
                     ev.fn(*ev.args)
                 finally:
                     tracer.ctx = prev_ctx
-            if until is not None and self._now < until:
+            if until is not None and not hit_cap and self._now < until:
                 self._now = until
         finally:
             self._running = False

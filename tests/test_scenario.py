@@ -1,0 +1,432 @@
+"""The scenario engine: arrivals, churn, fault schedules, SLOs, runner, CLI."""
+
+import json
+import random
+
+import pytest
+
+from repro.bench.workloads import OpenLoopClient, run_until_done
+from repro.core import BindingStyle, Mode
+from repro.groupcomm import GroupConfig, Liveliness, Ordering
+from repro.scenario import (
+    DiurnalArrivals,
+    FaultEvent,
+    FaultSchedule,
+    OpenLoopGenerator,
+    PoissonArrivals,
+    Population,
+    RampArrivals,
+    ScenarioSpec,
+    arrival_process_from_spec,
+    load_spec,
+    next_arrival,
+    run_scenario,
+)
+from repro.scenario.__main__ import main as scenario_main
+from repro.sim import Future, Simulator
+from tests.core_helpers import AppCluster, Counter
+
+FAST = GroupConfig(
+    ordering=Ordering.ASYMMETRIC,
+    liveliness=Liveliness.LIVELY,
+    silence_period=20e-3,
+    suspicion_timeout=100e-3,
+)
+
+
+# ---------------------------------------------------------------------------
+# arrival processes
+# ---------------------------------------------------------------------------
+def _count_arrivals(process, horizon, seed=3, **kwargs):
+    rng = random.Random(seed)
+    count, t = 0, 0.0
+    while True:
+        t = next_arrival(process, t, rng, horizon=horizon, **kwargs)
+        if t is None:
+            return count
+        count += 1
+
+
+def test_poisson_rate_sanity():
+    # ~rate*horizon arrivals, within a loose stochastic band
+    count = _count_arrivals(PoissonArrivals(10.0), horizon=100.0)
+    assert 800 < count < 1200
+
+
+def test_ramp_rate_shape():
+    ramp = RampArrivals(start_rate=1.0, end_rate=5.0, ramp=10.0)
+    assert ramp.rate(0.0) == 1.0
+    assert ramp.rate(5.0) == pytest.approx(3.0)
+    assert ramp.rate(10.0) == ramp.rate(50.0) == 5.0
+    assert ramp.peak_rate == 5.0
+
+
+def test_diurnal_cycles_between_base_and_peak():
+    diurnal = DiurnalArrivals(base_rate=1.0, peak_rate=9.0, period=8.0)
+    assert diurnal.rate(0.0) == pytest.approx(1.0)  # phase 0 = trough
+    assert diurnal.rate(4.0) == pytest.approx(9.0)  # half period = crest
+    assert diurnal.rate(8.0) == pytest.approx(1.0)
+
+
+def test_mmpp_is_deterministic_per_rng_stream():
+    def burst_trace(seed):
+        process = arrival_process_from_spec(
+            {"kind": "bursty", "rate_low": 1.0, "rate_high": 20.0,
+             "dwell_low": 2.0, "dwell_high": 1.0}
+        ).bind_rng(random.Random(seed))
+        return [process.rate(t * 0.25) for t in range(200)]
+
+    assert burst_trace(5) == burst_trace(5)
+    assert burst_trace(5) != burst_trace(6)  # bursts move with the seed
+
+
+def test_thinning_respects_population_modulation():
+    # doubling the population multiplier should ~double the arrivals
+    process = PoissonArrivals(2.0)
+    one = _count_arrivals(process, 200.0, peak_scale=1.0, rate_of_time=lambda t: 1.0)
+    two = _count_arrivals(process, 200.0, peak_scale=2.0, rate_of_time=lambda t: 2.0)
+    assert 1.6 < two / one < 2.4
+
+
+def test_arrival_spec_validation():
+    with pytest.raises(ValueError, match="unknown arrival kind"):
+        arrival_process_from_spec({"kind": "sawtooth"})
+    with pytest.raises(ValueError, match="missing"):
+        arrival_process_from_spec({"kind": "poisson"})
+    with pytest.raises(ValueError, match="unknown keys"):
+        arrival_process_from_spec({"kind": "poisson", "rate": 1.0, "burst": 2})
+
+
+# ---------------------------------------------------------------------------
+# population churn
+# ---------------------------------------------------------------------------
+def test_population_scripted_steps():
+    pop = Population(initial=10, steps=[{"at": 5.0, "join": 10}, {"at": 8.0, "leave": 15}])
+    assert pop.peak == 20
+    assert pop.size(0.0) == 10
+    assert pop.size(5.0) == 20
+    assert pop.size(9.0) == 5
+    assert pop.describe()["joins"] == 10 and pop.describe()["leaves"] == 15
+
+
+def test_population_stochastic_churn_is_clamped_and_deterministic():
+    def final_size(seed):
+        pop = Population(
+            initial=5, join_rate=2.0, leave_rate=2.0,
+            min_clients=1, max_clients=8, rng=random.Random(seed),
+        )
+        sizes = [pop.size(t * 0.5) for t in range(100)]
+        assert all(1 <= s <= 8 for s in sizes)
+        return sizes
+
+    assert final_size(2) == final_size(2)
+
+
+def test_population_stochastic_requires_bound_and_rng():
+    with pytest.raises(ValueError, match="max_clients"):
+        Population(initial=5, join_rate=1.0)
+    with pytest.raises(ValueError, match="RNG"):
+        Population(initial=5, join_rate=1.0, max_clients=10)
+
+
+# ---------------------------------------------------------------------------
+# spec loading and validation
+# ---------------------------------------------------------------------------
+def _spec_dict(**overrides):
+    spec = {
+        "name": "t",
+        "seed": 3,
+        "topology": "lan",
+        "settle": 1.0,
+        "group": {"replicas": 3},
+        "traffic": {
+            "arrivals": {"kind": "poisson", "rate": 1.0},
+            "churn": {"initial": 5},
+            "duration": 3.0,
+            "drain": 20.0,
+        },
+        "faults": [],
+        "slos": [{"kind": "accounting", "name": "acct"}],
+    }
+    spec.update(overrides)
+    return spec
+
+
+def test_spec_round_trips_through_dict():
+    spec = load_spec(_spec_dict(faults=[{"at": 1.0, "kind": "crash", "target": "s1"}]))
+    again = ScenarioSpec.from_dict(spec.to_dict())
+    assert again.to_dict() == spec.to_dict()
+
+
+def test_spec_rejects_unknown_keys_and_bad_values():
+    with pytest.raises(ValueError, match="unknown keys"):
+        load_spec(_spec_dict(typo=1))
+    with pytest.raises(ValueError, match="topology"):
+        load_spec(_spec_dict(topology="mars"))
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        load_spec(_spec_dict(faults=[{"at": 1.0, "kind": "meteor"}]))
+    with pytest.raises(ValueError, match="after the run window"):
+        load_spec(_spec_dict(faults=[{"at": 99.0, "kind": "heal"}]))
+    with pytest.raises(ValueError, match="unknown SLO kind"):
+        load_spec(_spec_dict(slos=[{"kind": "uptime"}]))
+
+
+def test_fault_event_validation():
+    with pytest.raises(ValueError, match="requires a target"):
+        FaultEvent(at=1.0, kind="crash")
+    with pytest.raises(ValueError, match="factor"):
+        FaultEvent(at=1.0, kind="slow_node", target="s0")
+    with pytest.raises(ValueError, match="groups/sites"):
+        FaultEvent(at=1.0, kind="partition")
+
+
+# ---------------------------------------------------------------------------
+# kernel + run_until_done slicing (satellite)
+# ---------------------------------------------------------------------------
+def test_run_with_max_events_does_not_skip_clock_past_pending_events():
+    sim = Simulator(seed=0)
+    fired = []
+    for t in (1.0, 2.0, 3.0):
+        sim.schedule(t, fired.append, t)
+    sim.run(until=10.0, max_events=2)
+    # capped after two events: the clock must sit at the last executed
+    # event, not jump to until=10 past the still-pending event at t=3
+    assert fired == [1.0, 2.0]
+    assert sim.now == 2.0
+    sim.run(until=10.0)
+    assert fired == [1.0, 2.0, 3.0]
+    assert sim.now == 10.0
+
+
+def test_run_until_done_advances_through_many_slices():
+    sim = Simulator(seed=0)
+    future = Future(name="late")
+    # far more events than one max_events slice can hold
+    for i in range(5000):
+        sim.schedule(i * 1e-3, lambda: None)
+    sim.schedule(6.0, future.try_resolve, None)
+    run_until_done(sim, [future], deadline=10.0, max_events=512)
+    assert future.done
+    assert sim.now <= 10.0
+
+
+def test_run_until_done_raises_on_unresolved_futures():
+    sim = Simulator(seed=0)
+    with pytest.raises(RuntimeError, match="did not finish"):
+        run_until_done(sim, [Future(name="never")], deadline=1.0)
+
+
+# ---------------------------------------------------------------------------
+# fault schedules against a live cluster
+# ---------------------------------------------------------------------------
+def test_slow_node_scales_cpu_cost_and_restores():
+    sim = Simulator(seed=0)
+    from repro.net import Network, Topology
+
+    net = Network(sim, Topology.single_lan())
+    node = net.new_node("n0", net.topology.sites[0])
+    done_at = []
+    net.slow_node("n0", 10.0)
+    node.execute(1e-3, lambda: done_at.append(sim.now))
+    sim.run(until=1.0)
+    assert done_at[0] == pytest.approx(10e-3)
+    net.slow_node("n0", 1.0)  # restore
+    node.execute(1e-3, lambda: done_at.append(sim.now))
+    sim.run(until=2.0)
+    assert done_at[1] - 1.0 == pytest.approx(1e-3)
+
+
+def test_fault_schedule_fires_and_logs_relative_times():
+    c = AppCluster(servers=2, clients=0)
+    c.run(5.0)  # install later than t=0 to check offsets are relative
+    schedule = FaultSchedule(
+        [
+            FaultEvent(at=1.0, kind="crash", target="s1"),
+            FaultEvent(at=2.0, kind="slow_node", target="s0", factor=4.0, duration=1.0),
+            FaultEvent(at=3.0, kind="recover", target="s1"),
+        ]
+    )
+    schedule.install(c.sim, c.net)
+    c.run(10.0)
+    assert [entry["kind"] for entry in schedule.log] == [
+        "crash", "slow_node", "recover", "slow_node_restored",
+    ]
+    assert [entry["at"] for entry in schedule.log] == [1.0, 2.0, 3.0, 3.0]
+    assert c.net.node("s1").alive
+    assert c.net.node("s0").slowdown == 1.0
+    assert c.sim.obs.metrics.counter_value("scenario.fault.crash") == 1
+
+
+# ---------------------------------------------------------------------------
+# manager crash under open-loop load (satellite: rebinding end to end)
+# ---------------------------------------------------------------------------
+def test_manager_crash_mid_burst_rebinds_without_losing_or_duplicating():
+    c = AppCluster(servers=3, clients=1)
+    servers = c.serve_all("svc", Counter, config=FAST)
+    binding = c.client(0).bind(
+        "svc",
+        style=BindingStyle.OPEN,
+        restricted=True,
+        liveliness=Liveliness.LIVELY,
+        suspicion_timeout=100e-3,
+    )
+    c.run(1.0)
+    assert binding.ready.done
+
+    def issue():
+        return binding.invoke("incr", (1,), mode=Mode.FIRST, timeout=8.0)
+
+    generator = OpenLoopGenerator(
+        c.sim,
+        [issue],
+        PoissonArrivals(20.0),
+        Population(initial=1),
+        duration=2.0,
+    ).start()
+    # crash whoever is the manager right now, mid-burst
+    schedule = FaultSchedule([FaultEvent(at=0.8, kind="crash", target="manager")])
+    schedule.install(c.sim, c.net, resolve_target=lambda name: binding.manager)
+    run_until_done(c.sim, [generator.finished], deadline=c.sim.now + 30.0)
+
+    stats = generator.stats
+    assert stats.offered > 10
+    assert stats.lost == 0  # every client future resolved
+    assert stats.completed + stats.errors == stats.offered
+    assert binding.rebinds >= 1  # the smart proxy rebound
+    assert schedule.log and schedule.log[0]["kind"] == "crash"
+    crashed = schedule.log[0]["target"]
+    # call numbers suppressed re-execution of retried calls: every survivor
+    # applied each completed incr exactly once
+    survivors = [s for s in servers if s.member_id != crashed]
+    values = {s.servant.value for s in survivors}
+    assert len(values) == 1
+    assert values.pop() == stats.completed
+
+
+# ---------------------------------------------------------------------------
+# runner + CLI
+# ---------------------------------------------------------------------------
+SMOKE_SPEC = {
+    "name": "smoke",
+    "seed": 7,
+    "topology": "lan",
+    "settle": 1.0,
+    "group": {"replicas": 3},
+    "traffic": {
+        "arrivals": {"kind": "poisson", "rate": 0.5},
+        "churn": {"initial": 10, "steps": [{"at": 1.0, "join": 10}]},
+        "duration": 4.0,
+        "drain": 20.0,
+    },
+    "faults": [{"at": 2.0, "kind": "slow_node", "target": "s1", "factor": 4.0, "duration": 1.0}],
+    "slos": [
+        {"kind": "accounting", "name": "acct"},
+        {"kind": "reconciliation", "name": "recon"},
+    ],
+}
+
+
+def test_run_scenario_report_is_deterministic():
+    first = run_scenario(SMOKE_SPEC)
+    second = run_scenario(SMOKE_SPEC)
+    first.pop("wall_time_s")
+    second.pop("wall_time_s")
+    assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+    assert first["passed"]
+    assert first["sim"]["drained"]
+    assert first["traffic"]["offered"] > 0
+    assert first["traffic"]["lost"] == 0
+    assert [f["kind"] for f in first["faults"]] == ["slow_node", "slow_node_restored"]
+    assert first["metrics"]["counters"]["scenario.offered"] == first["traffic"]["offered"]
+
+
+def test_run_scenario_failing_slo_sets_passed_false():
+    spec = dict(SMOKE_SPEC)
+    spec["slos"] = [{"kind": "latency", "name": "impossible", "stat": "p95", "max_ms": 1e-4}]
+    report = run_scenario(spec)
+    assert not report["passed"]
+    assert report["slos"][0]["ok"] is False
+
+
+def test_cli_run_exit_codes(tmp_path, capsys):
+    passing = tmp_path / "pass.json"
+    passing.write_text(json.dumps(SMOKE_SPEC))
+    failing_spec = dict(SMOKE_SPEC)
+    failing_spec["name"] = "doomed"
+    failing_spec["slos"] = [{"kind": "latency", "name": "impossible", "stat": "p95", "max_ms": 1e-4}]
+    failing = tmp_path / "fail.json"
+    failing.write_text(json.dumps(failing_spec))
+    out = tmp_path / "report.json"
+
+    assert scenario_main(["run", str(passing), "--quiet", "--output", str(out)]) == 0
+    assert json.loads(out.read_text())["passed"] is True
+    assert scenario_main(["run", str(failing), "--quiet"]) == 1
+    captured = capsys.readouterr()
+    assert "FAIL doomed" in captured.out
+
+    broken = tmp_path / "broken.json"
+    broken.write_text("{not json")
+    assert scenario_main(["run", str(broken)]) == 2
+    assert scenario_main(["validate", str(passing)]) == 0
+    assert scenario_main(["validate", str(broken)]) == 2
+
+
+def test_peer_workload_scenario():
+    report = run_scenario(
+        {
+            "name": "peer-smoke",
+            "seed": 3,
+            "topology": "lan",
+            "settle": 1.5,
+            "group": {"replicas": 3, "liveliness": "lively", "suspicion_timeout": 2.0},
+            "traffic": {
+                "arrivals": {"kind": "poisson", "rate": 0.5},
+                "churn": {"initial": 4},
+                "duration": 3.0,
+                "drain": 20.0,
+                "workload": "peer",
+                "timeout": 10.0,
+            },
+            "slos": [{"kind": "accounting", "name": "acct"}],
+        }
+    )
+    assert report["passed"]
+    assert report["workload"] == "peer"
+    assert report["traffic"]["completed"] == report["traffic"]["offered"] > 0
+
+
+def test_max_in_flight_sheds_load():
+    spec = json.loads(json.dumps(SMOKE_SPEC))
+    spec["traffic"]["arrivals"] = {"kind": "poisson", "rate": 40.0}
+    spec["traffic"]["duration"] = 1.0
+    spec["traffic"]["max_in_flight"] = 2
+    spec["slos"] = [{"kind": "accounting", "name": "acct"}]
+    report = run_scenario(spec)
+    assert report["traffic"]["shed"] > 0
+    assert report["traffic"]["lost"] == 0
+    assert report["passed"]  # shedding is accounted, not lost
+
+
+# ---------------------------------------------------------------------------
+# OpenLoopClient (bench satellite)
+# ---------------------------------------------------------------------------
+def test_open_loop_client_wraps_arrivals_for_benchmarks():
+    c = AppCluster(servers=3, clients=1)
+    c.serve_all("svc", Counter, config=FAST)
+    binding = c.client(0).bind(
+        "svc",
+        style=BindingStyle.CLOSED,
+        liveliness=Liveliness.LIVELY,
+        suspicion_timeout=100e-3,
+    )
+    c.run(1.0)
+    assert binding.ready.done
+    client = OpenLoopClient(
+        c.sim, binding, rate=50.0, operation="incr", args=(1,),
+        mode=Mode.ALL, requests=40, timeout=10.0,
+    )
+    run_until_done(c.sim, [client.done], deadline=c.sim.now + 30.0)
+    assert client.issued == 40
+    assert client.in_flight == 0
+    assert client.errors == 0
+    assert len(client.latencies.values) == 40

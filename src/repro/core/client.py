@@ -23,7 +23,7 @@ from repro.core.messages import InvokeMsg, ReplyMsg, ReplySet
 from repro.core.modes import BindingStyle, Mode, replies_needed
 from repro.core.registry import server_servant_id
 from repro.errors import ApplicationError, BindingBroken, CommFailure
-from repro.groupcomm.config import GroupConfig, Liveliness, Ordering
+from repro.groupcomm.config import GroupConfig, Liveliness, LivelinessConfig, Ordering
 from repro.orb.ior import IOR
 from repro.sim.futures import Future
 from repro.sim.process import all_of
@@ -103,6 +103,7 @@ class GroupBinding:
         null_delay: float = 1e-3,
         suspicion_timeout: float = 300e-3,
         flush_timeout: float = 150e-3,
+        liveliness_config: Optional[LivelinessConfig] = None,
     ):
         if style not in BindingStyle.ALL_STYLES:
             raise ValueError(f"unknown binding style {style!r}")
@@ -120,6 +121,7 @@ class GroupBinding:
         self.null_delay = null_delay
         self.suspicion_timeout = suspicion_timeout
         self.flush_timeout = flush_timeout
+        self.liveliness_config = liveliness_config
 
         obs = service.sim.obs
         self._tracer = obs.tracer
@@ -184,6 +186,7 @@ class GroupBinding:
             suspicion_timeout=self.suspicion_timeout,
             flush_timeout=self.flush_timeout,
             sequencer_hint=hint,
+            liveliness_config=self.liveliness_config,
         )
         self._gc = self.service.gcs.create_group(gc_name, config)
         self._gc.on_deliver = self._on_gc_deliver

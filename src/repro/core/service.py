@@ -23,7 +23,7 @@ from repro.core.modes import BindingStyle, ReplicationPolicy
 from repro.core.registry import ServiceRegistry, client_sink_id
 from repro.core.server import ObjectGroupServer
 from repro.errors import GroupError
-from repro.groupcomm.config import GroupConfig, Liveliness, Ordering
+from repro.groupcomm.config import GroupConfig, Liveliness, LivelinessConfig, Ordering
 from repro.groupcomm.service import GroupCommService
 from repro.groupcomm.session import GroupSession
 from repro.orb.ior import IOR
@@ -127,6 +127,7 @@ class NewTopService:
         null_delay: float = 1e-3,
         suspicion_timeout: float = 300e-3,
         flush_timeout: float = 150e-3,
+        liveliness_config: Optional[LivelinessConfig] = None,
     ) -> GroupBinding:
         """Bind to a replicated service.  Await ``binding.ready``."""
         return GroupBinding(
@@ -141,6 +142,7 @@ class NewTopService:
             null_delay=null_delay,
             suspicion_timeout=suspicion_timeout,
             flush_timeout=flush_timeout,
+            liveliness_config=liveliness_config,
         )
 
     def bind_group_to_group(

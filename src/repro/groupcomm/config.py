@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.orb.marshal import corba_struct
 
-__all__ = ["Ordering", "Liveliness", "GroupConfig"]
+__all__ = ["Ordering", "Liveliness", "LivelinessConfig", "GroupConfig"]
 
 
 class Ordering:
@@ -35,6 +35,75 @@ class Liveliness:
 
 
 @corba_struct
+class LivelinessConfig:
+    """Quiescence-aware tuning of the time-silence mechanism.
+
+    With ``adaptive`` on (lively groups only), the heartbeat interval backs
+    off exponentially while the member is quiescent — no unstable-ack or
+    timestamp debt, no pending reactive NULL — up to
+    ``silence_period * max_silence_factor``, and snaps back to
+    ``silence_period`` on the first data send or receive.  Every outgoing
+    message advertises the sender's committed interval so peers scale their
+    suspicion deadline to ``advertised * suspicion_periods`` instead of the
+    static config.
+
+    ``ack_coalesce_factor`` stretches the pure-stability-ack NULL delay to
+    ``silence_period * ack_coalesce_factor`` (bounded by the advertised
+    interval and half the suspicion timeout) so acks ride on the next data
+    message whenever traffic is flowing.  Ordering-critical NULLs
+    (symmetric timestamp progress) keep ``null_delay`` untouched.
+
+    ``quiescence_fallback`` reproduces the paper's event-driven regime as
+    the limit case: after ``fallback_after`` seconds of deep quiescence
+    (nothing unstable anywhere, all peers' delivery frontiers caught up)
+    the lively heartbeat disarms entirely until the next message.
+    """
+
+    __slots__ = (
+        "adaptive",
+        "backoff_factor",
+        "max_silence_factor",
+        "suspicion_periods",
+        "ack_coalesce_factor",
+        "quiescence_fallback",
+        "fallback_after",
+    )
+    _fields = __slots__
+
+    def __init__(
+        self,
+        adaptive: bool = True,
+        backoff_factor: float = 2.0,
+        max_silence_factor: float = 8.0,
+        suspicion_periods: float = 3.0,
+        ack_coalesce_factor: float = 4.0,
+        quiescence_fallback: bool = False,
+        fallback_after: float = 1.0,
+    ):
+        if backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1.0")
+        if max_silence_factor < 1.0:
+            raise ValueError("max_silence_factor must be >= 1.0")
+        if suspicion_periods < 1.0:
+            raise ValueError("suspicion_periods must be >= 1.0")
+        if ack_coalesce_factor < 0.0:
+            raise ValueError("ack_coalesce_factor must be >= 0")
+        if fallback_after <= 0.0:
+            raise ValueError("fallback_after must be positive")
+        self.adaptive = bool(adaptive)
+        self.backoff_factor = backoff_factor
+        self.max_silence_factor = max_silence_factor
+        self.suspicion_periods = suspicion_periods
+        self.ack_coalesce_factor = ack_coalesce_factor
+        self.quiescence_fallback = bool(quiescence_fallback)
+        self.fallback_after = fallback_after
+
+    def __repr__(self) -> str:
+        mode = "adaptive" if self.adaptive else "static"
+        return f"LivelinessConfig({mode}, cap x{self.max_silence_factor})"
+
+
+@corba_struct
 class GroupConfig:
     """Per-group protocol parameters.
 
@@ -56,6 +125,7 @@ class GroupConfig:
         "flush_timeout",
         "sequencer_hint",
         "send_window",
+        "liveliness_config",
     )
     _fields = __slots__
 
@@ -70,6 +140,7 @@ class GroupConfig:
         flush_timeout: float = 150e-3,
         sequencer_hint: str = "",
         send_window: int = 64,
+        liveliness_config: "LivelinessConfig | None" = None,
     ):
         if ordering not in Ordering.ALL:
             raise ValueError(f"unknown ordering {ordering!r}")
@@ -91,6 +162,7 @@ class GroupConfig:
             raise ValueError("send_window must be at least 1")
         #: flow control: max own unstable data messages before sends queue
         self.send_window = send_window
+        self.liveliness_config = liveliness_config or LivelinessConfig()
 
     @property
     def is_total(self) -> bool:

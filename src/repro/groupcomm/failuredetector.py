@@ -1,16 +1,33 @@
-"""Time-silence and failure suspicion (§3).
+"""Time-silence and failure suspicion (§3), quiescence-aware.
 
 One detector per group session.  It periodically:
 
-- sends a NULL ("I am alive") message if the member has been silent for the
-  group's ``silence_period``; and
-- suspects members not heard from within ``suspicion_timeout``.
+- sends a NULL ("I am alive") message if the member has been silent for its
+  *committed* heartbeat interval; and
+- suspects members not heard from within their deadline.
 
 In a **lively** group both mechanisms run for the group's lifetime.  In an
 **event-driven** group they are armed only while application messages are
 outstanding in the group — when the group quiesces, the timers idle and the
 baselines are refreshed so that re-arming cannot produce instant false
 suspicion.
+
+Adaptive suppression (``LivelinessConfig.adaptive``, lively groups only):
+while the member is quiescent the committed interval backs off
+exponentially with idle time, capped at ``silence_period *
+max_silence_factor``, and snaps back to ``silence_period`` on the first
+data send or receive.  The interval is *forward-looking*: every outgoing
+message advertises the interval computed from the idle time at send, so
+the last message before a long gap already announces the long gap.
+Receivers record the advertisement and scale each member's suspicion
+deadline to ``max(suspicion_timeout, advertised * suspicion_periods)`` —
+failure detection latency degrades gracefully with the advertised period
+instead of breaking.
+
+With ``quiescence_fallback`` on, a deeply quiescent lively group (nothing
+unstable, every peer's delivery frontier caught up) disarms entirely after
+``fallback_after`` seconds — the paper's event-driven regime as the limit
+case of adaptive backoff.
 """
 
 from __future__ import annotations
@@ -20,6 +37,10 @@ from typing import Dict, Optional, Set
 from repro.groupcomm.config import Liveliness
 
 __all__ = ["FailureDetector"]
+
+#: beyond this many base periods of idleness the backoff is certainly capped;
+#: guards the exponential against overflow
+_MAX_BACKOFF_STEPS = 64.0
 
 
 class FailureDetector:
@@ -34,7 +55,27 @@ class FailureDetector:
         self._timer = None
         self._stopped = False
         config = session.config
+        live = config.liveliness_config
+        self.base_period = config.silence_period
+        self.adaptive = bool(live.adaptive) and config.liveliness == Liveliness.LIVELY
+        self.max_period = (
+            self.base_period * live.max_silence_factor if self.adaptive else self.base_period
+        )
+        self.backoff_factor = max(1.0, live.backoff_factor)
+        self.suspicion_periods = live.suspicion_periods
+        #: the interval this member has committed to (and advertised);
+        #: peers hold us to it, so we must never be silent longer
+        self.committed_period = self.base_period
+        #: heartbeat intervals advertised by peers on their last message
+        self.peer_periods: Dict[str, float] = {}
+        #: last data send or receive — the backoff clock
+        self.last_activity = self.sim.now
+        #: accounting mark for the suppression counter
+        self._quiet_mark = self.sim.now
         self.period = min(config.silence_period, config.suspicion_timeout / 3.0)
+        metrics = self.sim.obs.metrics
+        self._suppressed = metrics.counter("gc.null_suppressed")
+        self._period_gauge = metrics.gauge("gc.adaptive_period")
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -58,6 +99,13 @@ class FailureDetector:
         self.suspected.clear()
         self.last_recv = {m: now for m in self.session.view.members}
         self.last_sent = now
+        # adaptive state is view-local: stale advertisements from the old
+        # view must not stretch deadlines for the new one, and the backoff
+        # restarts from the view-install activity burst
+        self.peer_periods.clear()
+        self.committed_period = self.base_period
+        self.last_activity = now
+        self._quiet_mark = now
 
     # ------------------------------------------------------------------
     # observations
@@ -68,14 +116,68 @@ class FailureDetector:
     def sent_something(self) -> None:
         self.last_sent = self.sim.now
 
+    def note_activity(self) -> None:
+        """A data message was sent or received: snap back to the base rate."""
+        self.last_activity = self.sim.now
+        if self.committed_period != self.base_period:
+            self.committed_period = self.base_period
+            self._period_gauge.set(self.base_period)
+
+    def observe_period(self, member: str, period: float) -> None:
+        """Record the heartbeat interval ``member`` advertised on a message."""
+        if period > 0.0 and member != self.session.member_id:
+            self.peer_periods[member] = period
+
+    def advertise_period(self) -> float:
+        """Commit to (and return) the heartbeat interval for the coming gap.
+
+        Called on every outgoing protocol message.  Forward-looking: the
+        interval grows with idle time *as of now*, so the message that
+        precedes a quiet stretch already advertises the stretched period.
+        """
+        if not self.adaptive:
+            return self.base_period
+        idle = self.sim.now - self.last_activity
+        if idle <= 0.0:
+            period = self.base_period
+        else:
+            steps = min(idle / self.base_period, _MAX_BACKOFF_STEPS)
+            period = min(self.max_period, self.base_period * (self.backoff_factor ** steps))
+        period = max(self.base_period, period)
+        if period != self.committed_period:
+            self.committed_period = period
+            self._period_gauge.set(period)
+        return period
+
+    def deadline_for(self, member: str) -> float:
+        """Suspicion deadline for ``member``, scaled to its advertisement.
+
+        Active members advertise the base period, so the deadline floors at
+        the static ``suspicion_timeout`` and detection latency is unchanged
+        for busy groups; only members that announced a backed-off interval
+        get proportionally more slack.
+        """
+        timeout = self.session.config.suspicion_timeout
+        advertised = self.peer_periods.get(member, 0.0)
+        return max(timeout, advertised * self.suspicion_periods)
+
     def is_suspected(self, member: str) -> bool:
         return member in self.suspected
 
     # ------------------------------------------------------------------
     # the periodic tick
     # ------------------------------------------------------------------
-    def _armed(self) -> bool:
-        if self.session.config.liveliness == Liveliness.LIVELY:
+    def _armed(self, now: float) -> bool:
+        config = self.session.config
+        if config.liveliness == Liveliness.LIVELY:
+            live = config.liveliness_config
+            if (
+                self.adaptive
+                and live.quiescence_fallback
+                and now - self.last_activity >= live.fallback_after
+                and self.session.is_deeply_quiescent()
+            ):
+                return False
             return True
         return self.session.has_outstanding()
 
@@ -86,23 +188,28 @@ class FailureDetector:
         if not self.session.service.node.alive:
             return  # crash-stop: a dead member's timers die with it
         now = self.sim.now
-        config = self.session.config
-        if not self._armed():
-            # quiesced event-driven group: refresh baselines so arming later
-            # does not instantly suspect everyone
+        if not self._armed(now):
+            # quiesced event-driven group (or lively fallback): refresh
+            # baselines so arming later does not instantly suspect everyone
             self.last_sent = now
+            self._quiet_mark = now
             for member in self.session.view.members:
                 self.last_recv[member] = now
         else:
-            if now - self.last_sent >= config.silence_period:
+            silent_for = now - self.last_sent
+            if silent_for >= self.committed_period and not self.session.has_scheduled_null():
                 self.session.send_null()
+            elif self.adaptive and now - max(self.last_sent, self._quiet_mark) >= self.base_period:
+                # a static-regime heartbeat slot elapsed without a NULL
+                self._suppressed.inc()
+                self._quiet_mark = now
             # gather all suspicions first so a single flush covers them
             newly_suspected = []
             for member in self.session.view.members:
                 if member == self.session.member_id or member in self.suspected:
                     continue
                 heard = self.last_recv.get(member, now)
-                if now - heard > config.suspicion_timeout:
+                if now - heard > self.deadline_for(member):
                     self.suspected.add(member)
                     newly_suspected.append(member)
             for member in newly_suspected:

@@ -53,11 +53,18 @@ class DataMsg:
     - ``vector``: vector-clock stamp for causal-order groups, else None.
     - ``acks``: piggybacked stability info: sender's max contiguous gseq
       received per member.
+    - ``hb_period``: the sender's committed heartbeat interval (seconds);
+      receivers scale their suspicion deadline to it so adaptive NULL
+      suppression never causes false suspicion (0 = not advertised).
+    - ``frontier``: the sender's delivery frontier in the ordering
+      protocol's own coordinates, piggybacked so peers can tell when the
+      whole group is caught up (quiescence fallback).
     """
 
     __slots__ = (
         "group", "sender", "view_id", "gseq", "ts",
         "kind", "payload", "ticket", "vector", "acks",
+        "hb_period", "frontier",
     )
     _fields = __slots__
 
@@ -73,6 +80,8 @@ class DataMsg:
         ticket: Optional[int],
         vector: Optional[Dict[str, int]],
         acks: Dict[str, int],
+        hb_period: float = 0.0,
+        frontier: Any = None,
     ):
         self.group = group
         self.sender = sender
@@ -84,6 +93,8 @@ class DataMsg:
         self.ticket = ticket
         self.vector = vector
         self.acks = acks
+        self.hb_period = hb_period
+        self.frontier = frontier
 
     @property
     def msg_id(self) -> Tuple[int, str, int]:

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import NotMember
-from repro.groupcomm.config import GroupConfig
+from repro.groupcomm.config import GroupConfig, Liveliness
 from repro.groupcomm.failuredetector import FailureDetector
 from repro.groupcomm.flowcontrol import FlowController
 from repro.groupcomm.membership import MembershipEngine
@@ -93,6 +93,8 @@ class GroupSession:
         self._self_ack_owed = False
         self._null_timer = None
         self._leaving = False
+        #: delivery frontiers peers piggybacked on their latest message
+        self._peer_frontiers: Dict[str, Any] = {}
 
         self.stats = SessionStats()
         obs = self.sim.obs
@@ -168,6 +170,51 @@ class GroupSession:
             or bool(self._queued_sends)
         )
 
+    def has_scheduled_null(self) -> bool:
+        """Whether a reactive NULL timer is pending (a send is imminent)."""
+        return self._null_timer is not None
+
+    def _needs_ts_progress(self) -> bool:
+        return self.ordering.needs_nulls and self._last_sent_ts < self._max_seen_ts
+
+    def is_quiescent(self) -> bool:
+        """No undischarged protocol debt of our own: the adaptive heartbeat
+        may back off.  Unstable messages do *not* block quiescence — their
+        stability needs the peers' acks, not more NULLs from us."""
+        return not (
+            self._acks_owed
+            or self._self_ack_owed
+            or self._needs_ts_progress()
+            or self._null_timer is not None
+            or self.ordering.pending_count() > 0
+            or self._queued_sends
+        )
+
+    def is_deeply_quiescent(self) -> bool:
+        """Quiescent *and* provably caught up group-wide: nothing unstable
+        here and every peer's piggybacked delivery frontier has reached ours.
+        Gate for the optional quiescence -> event-driven fallback."""
+        return self.is_quiescent() and not self.unstable and self._frontier_caught_up()
+
+    def _frontier_caught_up(self) -> bool:
+        if self.view is None:
+            return False
+        mine = self.ordering.frontier()
+        for member in self.view.members:
+            if member == self.member_id:
+                continue
+            theirs = self._peer_frontiers.get(member)
+            if theirs is None:
+                return False
+            try:
+                if theirs < mine:
+                    return False
+            except TypeError:
+                # causal/FIFO frontiers are maps, not totally ordered: never
+                # claim deep quiescence for them
+                return False
+        return True
+
     # ------------------------------------------------------------------
     # sending machinery
     # ------------------------------------------------------------------
@@ -201,6 +248,8 @@ class GroupSession:
                 ticket = self.service.next_ticket()
             elif self.ordering.name == "causal":
                 vector = self.ordering.stamp()
+        if kind == KIND_DATA:
+            self.detector.note_activity()
         msg = DataMsg(
             self.group,
             self.member_id,
@@ -212,6 +261,8 @@ class GroupSession:
             ticket,
             vector,
             self._current_acks(),
+            self.detector.advertise_period(),
+            self.ordering.frontier(),
         )
         if kind == KIND_DATA:
             self.unstable[msg.msg_id] = msg
@@ -281,7 +332,11 @@ class GroupSession:
         if msg.view_id < self.view.view_id or msg.sender not in self.view.members:
             return
         self.detector.heard_from(msg.sender)
+        self.detector.observe_period(msg.sender, msg.hb_period)
+        if msg.frontier is not None:
+            self._peer_frontiers[msg.sender] = msg.frontier
         if not msg.is_null:
+            self.detector.note_activity()
             self._recv_gseq[msg.sender] = msg.gseq
             self.unstable[msg.msg_id] = msg
         self._ingest_acks(msg.sender, msg.acks)
@@ -357,11 +412,12 @@ class GroupSession:
             self._max_seen_ts = msg.ts
         self._acks_owed = True
         # ordering progress needs a prompt NULL (null_delay); a pure
-        # stability ack may be batched for longer (ack_delay)
-        if self.ordering.needs_nulls and self._last_sent_ts < self._max_seen_ts:
+        # stability ack may be batched for longer, and in adaptive lively
+        # groups long enough that it usually rides on the next data message
+        if self._needs_ts_progress():
             delay = self.config.null_delay
         else:
-            delay = self.config.ack_delay
+            delay = self._ack_flush_delay()
         deadline = self.sim.now + delay
         if self._null_timer is not None and deadline < self._null_timer.time:
             self._null_timer.cancel()
@@ -369,15 +425,23 @@ class GroupSession:
         if self._null_timer is None:
             self._null_timer = self.sim.schedule(delay, self._null_timer_fired)
 
+    def _ack_flush_delay(self) -> float:
+        """How long a pure stability ack may wait for a data message to
+        piggyback on before a NULL is emitted for it."""
+        config = self.config
+        live = config.liveliness_config
+        if config.liveliness != Liveliness.LIVELY or not live.adaptive:
+            return config.ack_delay
+        window = max(config.ack_delay, config.silence_period * live.ack_coalesce_factor)
+        # never be silent longer than the advertised interval allows, and
+        # leave comfortable slack under peers' suspicion deadlines
+        return min(window, self.detector.max_period, config.suspicion_timeout / 2.0)
+
     def _null_timer_fired(self) -> None:
         self._null_timer = None
         if self.state not in ("active", "flushing"):
             return
-        if (
-            self._acks_owed
-            or self._self_ack_owed
-            or (self.ordering.needs_nulls and self._last_sent_ts < self._max_seen_ts)
-        ):
+        if self._acks_owed or self._self_ack_owed or self._needs_ts_progress():
             self.send_null()
 
     # ------------------------------------------------------------------
@@ -499,6 +563,7 @@ class GroupSession:
         self._max_seen_ts = 0
         self._acks_owed = False
         self._self_ack_owed = False
+        self._peer_frontiers = {}
         if self._null_timer is not None:
             self._null_timer.cancel()
             self._null_timer = None
@@ -558,6 +623,12 @@ class GroupSession:
         self.state = "closed"
         self.detector.stop()
         self._unregister_from_mergers()
+        # clear the reactive NULL debt with the timer: a stale debt must not
+        # survive into any later use of this member identity
+        self._acks_owed = False
+        self._self_ack_owed = False
+        self._max_seen_ts = 0
+        self._peer_frontiers = {}
         if self._null_timer is not None:
             self._null_timer.cancel()
             self._null_timer = None

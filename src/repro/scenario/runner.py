@@ -151,6 +151,7 @@ def _group_config(spec: ScenarioSpec, sequencer_hint: str) -> GroupConfig:
         suspicion_timeout=group.suspicion_timeout,
         flush_timeout=group.flush_timeout,
         sequencer_hint=sequencer_hint,
+        liveliness_config=group.build_liveliness_config(),
     )
 
 
@@ -216,6 +217,7 @@ def _setup_peer(env: Environment, spec: ScenarioSpec):
         ordering=spec.group.ordering,
         silence_period=spec.group.silence_period,
         suspicion_timeout=max(spec.group.suspicion_timeout, 100e-3),
+        liveliness_config=spec.group.build_liveliness_config(),
     )
     sessions = [services[0].create_peer_group("conf", config)]
     for service in services[1:]:

@@ -21,6 +21,9 @@ Kinds:
   / ``max_shed`` bounds.
 - ``reconciliation`` — per-kind protocol sends reconcile exactly (±0)
   with network hop counts (:func:`repro.obs.reconcile_traffic`).
+- ``message_budget`` — a maximum ratio between two obs counters, e.g.
+  ``gc.sent.null / gc.delivered <= 1.5``: the protocol-overhead budget
+  that keeps liveliness traffic proportional to useful work.
 """
 
 from __future__ import annotations
@@ -32,7 +35,7 @@ from repro.obs import reconcile_traffic
 
 __all__ = ["SLO_KINDS", "build_slos", "evaluate_slos", "SloContext"]
 
-SLO_KINDS = ("latency", "counter", "accounting", "reconciliation")
+SLO_KINDS = ("latency", "counter", "accounting", "reconciliation", "message_budget")
 
 _LATENCY_STATS = ("mean", "p50", "p95", "p99", "max")
 
@@ -219,11 +222,51 @@ class ReconciliationSlo(_Slo):
         )
 
 
+class MessageBudgetSlo(_Slo):
+    """Bound the ratio of one obs counter to another.
+
+    The canonical use is a protocol-traffic budget: NULL/control sends per
+    delivered multicast must stay under ``max_ratio``.  A zero denominator
+    passes only if the numerator is also zero (no useful work should mean
+    no overhead traffic either).
+    """
+
+    kind = "message_budget"
+
+    def __init__(self, name: str, numerator: str, denominator: str, max_ratio: float):
+        super().__init__(name)
+        if max_ratio < 0:
+            raise ValueError(f"message_budget SLO {name!r} needs max_ratio >= 0")
+        self.numerator = numerator
+        self.denominator = denominator
+        self.max_ratio = float(max_ratio)
+
+    def evaluate(self, ctx: SloContext) -> Dict:
+        num = ctx.metrics.counter_value(self.numerator)
+        den = ctx.metrics.counter_value(self.denominator)
+        expected = f"{self.numerator} / {self.denominator} <= {self.max_ratio}"
+        if den == 0:
+            return self._verdict(
+                num == 0,
+                {"numerator": num, "denominator": 0},
+                expected,
+                "denominator is zero: budget requires a zero numerator",
+            )
+        ratio = num / den
+        return self._verdict(
+            ratio <= self.max_ratio,
+            round(ratio, 6),
+            expected,
+            f"{self.numerator}={num}, {self.denominator}={den}",
+        )
+
+
 _BUILDERS = {
     "latency": (LatencySlo, {"stat", "max_ms", "after", "metric", "min_count"}),
     "counter": (CounterSlo, {"counter", "max", "min", "equals"}),
     "accounting": (AccountingSlo, {"max_errors", "max_shed"}),
     "reconciliation": (ReconciliationSlo, set()),
+    "message_budget": (MessageBudgetSlo, {"numerator", "denominator", "max_ratio"}),
 }
 
 

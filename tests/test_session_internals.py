@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import NotMember
-from repro.groupcomm import GroupConfig, Liveliness, Ordering
+from repro.groupcomm import GroupConfig, Liveliness, LivelinessConfig, Ordering
 from tests.conftest import Cluster, Collector
 from tests.test_groupcomm_basic import build_group
 
@@ -84,9 +84,28 @@ def test_group_details_none_while_joining():
 
 
 def test_lively_group_keeps_heartbeating_while_idle():
+    # default (adaptive) liveliness: the idle heartbeat backs off to
+    # silence_period * max_silence_factor but never goes fully silent
     c = Cluster(2)
     config = GroupConfig(
         liveliness=Liveliness.LIVELY, silence_period=20e-3, suspicion_timeout=200e-3
+    )
+    sessions = build_group(c, config)
+    before = sessions[0].stats.nulls_sent
+    c.run(1.0)
+    after = sessions[0].stats.nulls_sent
+    # cap is 8 * 20 ms = 160 ms -> at least ~6 NULLs/s, far below the
+    # static rate of ~50/s
+    assert 3 <= after - before <= 15
+
+
+def test_lively_group_static_heartbeat_when_adaptive_off():
+    c = Cluster(2)
+    config = GroupConfig(
+        liveliness=Liveliness.LIVELY,
+        silence_period=20e-3,
+        suspicion_timeout=200e-3,
+        liveliness_config=LivelinessConfig(adaptive=False),
     )
     sessions = build_group(c, config)
     before = sessions[0].stats.nulls_sent

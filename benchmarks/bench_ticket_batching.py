@@ -1,0 +1,94 @@
+"""Sequencer ticket batching: control traffic vs membership (before/after).
+
+The asymmetric protocol multicasts one ticket per data message that does
+not originate at the sequencer, so ticket traffic grows with both load
+and fan-out.  Coalescing the tickets assigned inside a short window
+(``OrderingConfig.ticket_batch_max`` / ``ticket_batch_delay``) into one
+``TicketBatchMsg`` amortises that cost without touching delivery
+semantics (the invariant sweep in tests/test_invariant_sweep.py is the
+semantic gate).  This bench sweeps peer-group membership on the LAN
+preset and prints ticket multicasts, latency, and throughput with
+batching off (the seed's behaviour, batch_max=1) and on.
+"""
+
+import pytest
+
+from repro.bench import print_table
+from repro.bench.harness import peer_point
+from repro.obs import Observability
+from repro.groupcomm import Ordering, OrderingConfig
+
+MEMBER_COUNTS = [3, 4, 6, 8]
+MULTICASTS = 30
+BATCHED = OrderingConfig(ticket_batch_max=8, ticket_batch_delay=2e-3)
+
+
+def run_batching_probe(n_members: int, batched: bool):
+    obs = Observability()
+    config = BATCHED if batched else None
+    point = peer_point(
+        "lan",
+        n_members,
+        Ordering.ASYMMETRIC,
+        multicasts=MULTICASTS,
+        seed=42,
+        obs=obs,
+        ordering_config=config,
+    )
+    metrics = obs.metrics
+    return {
+        "tickets": metrics.counter_value("gc.sent.ticket"),
+        "batched": metrics.counter_value("gc.tickets_batched"),
+        "delivered": metrics.counter_value("gc.delivered"),
+        "latency_ms": point.latency_ms,
+        "throughput": point.throughput,
+    }
+
+
+@pytest.mark.benchmark(group="ticket-batching")
+def test_ticket_batching_cuts_control_traffic(benchmark):
+    results = {}
+
+    def run():
+        for n in MEMBER_COUNTS:
+            for batched in (False, True):
+                results[(n, batched)] = run_batching_probe(n, batched)
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for n in MEMBER_COUNTS:
+        base = results[(n, False)]
+        batch = results[(n, True)]
+        reduction = 100.0 * (1 - batch["tickets"] / base["tickets"])
+        rows.append([
+            n,
+            base["tickets"],
+            batch["tickets"],
+            f"-{reduction:.0f}%",
+            f"{base['latency_ms']:.2f} -> {batch['latency_ms']:.2f}",
+            f"{base['throughput']:.0f} -> {batch['throughput']:.0f}",
+        ])
+    print_table(
+        ["members", "tickets (batch=1)", "tickets (batch=8)", "reduction",
+         "latency ms", "throughput msg/s"],
+        rows,
+        title=("Asymmetric peer group, LAN: ticket multicasts per run "
+               f"({MULTICASTS} multicasts/member, seed 42)"),
+    )
+    for (n, batched), counts in results.items():
+        benchmark.extra_info[f"{n}/{'batched' if batched else 'baseline'}"] = counts
+
+    for n in MEMBER_COUNTS:
+        base = results[(n, False)]
+        batch = results[(n, True)]
+        # identical work delivered, fewer ticket multicasts
+        assert batch["delivered"] == base["delivered"]
+        assert batch["batched"] > 0
+        assert batch["tickets"] < base["tickets"]
+        # acceptance bar: >= 50% fewer tickets at 6+ members, throughput
+        # no worse (batching removes sequencer sends from the critical path)
+        if n >= 6:
+            assert batch["tickets"] <= 0.5 * base["tickets"]
+            assert batch["throughput"] >= base["throughput"]

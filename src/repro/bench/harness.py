@@ -223,15 +223,20 @@ def peer_point(
     multicasts: Optional[int] = None,
     seed: int = 42,
     obs=None,
+    ordering_config=None,
 ) -> ExperimentPoint:
     """One peer-participation measurement: a lively group of ``n_members``
     all multicasting 100-character strings as fast as group-wide delivery
     allows; reports mean multicast-to-everywhere latency and aggregate
-    message throughput (the paper's msgs/sec metric)."""
+    message throughput (the paper's msgs/sec metric).  ``ordering_config``
+    optionally tunes ticket batching / ack piggybacking."""
     multicasts = multicasts or (100 if full_run() else 30)
     env = Environment(config=config, seed=seed, obs=obs)
     services = env.add_peers(n_members)
-    peer_config = make_peer_config(ordering=ordering)
+    overrides = {}
+    if ordering_config is not None:
+        overrides["ordering_config"] = ordering_config
+    peer_config = make_peer_config(ordering=ordering, **overrides)
     sessions = [services[0].create_peer_group("conf", peer_config)]
     for service in services[1:]:
         sessions.append(service.join_peer_group("conf", services[0].name))

@@ -23,7 +23,13 @@ from repro.core.messages import InvokeMsg, ReplyMsg, ReplySet
 from repro.core.modes import BindingStyle, Mode, replies_needed
 from repro.core.registry import server_servant_id
 from repro.errors import ApplicationError, BindingBroken, CommFailure
-from repro.groupcomm.config import GroupConfig, Liveliness, LivelinessConfig, Ordering
+from repro.groupcomm.config import (
+    GroupConfig,
+    Liveliness,
+    LivelinessConfig,
+    Ordering,
+    OrderingConfig,
+)
 from repro.orb.ior import IOR
 from repro.sim.futures import Future
 from repro.sim.process import all_of
@@ -104,6 +110,7 @@ class GroupBinding:
         suspicion_timeout: float = 300e-3,
         flush_timeout: float = 150e-3,
         liveliness_config: Optional[LivelinessConfig] = None,
+        ordering_config: Optional[OrderingConfig] = None,
     ):
         if style not in BindingStyle.ALL_STYLES:
             raise ValueError(f"unknown binding style {style!r}")
@@ -122,6 +129,7 @@ class GroupBinding:
         self.suspicion_timeout = suspicion_timeout
         self.flush_timeout = flush_timeout
         self.liveliness_config = liveliness_config
+        self.ordering_config = ordering_config
 
         obs = service.sim.obs
         self._tracer = obs.tracer
@@ -187,6 +195,7 @@ class GroupBinding:
             flush_timeout=self.flush_timeout,
             sequencer_hint=hint,
             liveliness_config=self.liveliness_config,
+            ordering_config=self.ordering_config,
         )
         self._gc = self.service.gcs.create_group(gc_name, config)
         self._gc.on_deliver = self._on_gc_deliver

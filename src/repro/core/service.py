@@ -23,7 +23,13 @@ from repro.core.modes import BindingStyle, ReplicationPolicy
 from repro.core.registry import ServiceRegistry, client_sink_id
 from repro.core.server import ObjectGroupServer
 from repro.errors import GroupError
-from repro.groupcomm.config import GroupConfig, Liveliness, LivelinessConfig, Ordering
+from repro.groupcomm.config import (
+    GroupConfig,
+    Liveliness,
+    LivelinessConfig,
+    Ordering,
+    OrderingConfig,
+)
 from repro.groupcomm.service import GroupCommService
 from repro.groupcomm.session import GroupSession
 from repro.orb.ior import IOR
@@ -128,6 +134,7 @@ class NewTopService:
         suspicion_timeout: float = 300e-3,
         flush_timeout: float = 150e-3,
         liveliness_config: Optional[LivelinessConfig] = None,
+        ordering_config: Optional[OrderingConfig] = None,
     ) -> GroupBinding:
         """Bind to a replicated service.  Await ``binding.ready``."""
         return GroupBinding(
@@ -143,6 +150,7 @@ class NewTopService:
             suspicion_timeout=suspicion_timeout,
             flush_timeout=flush_timeout,
             liveliness_config=liveliness_config,
+            ordering_config=ordering_config,
         )
 
     def bind_group_to_group(

@@ -3,7 +3,13 @@ reliable, causal, and totally-ordered multicast with symmetric and
 asymmetric ordering protocols and overlapping-group support.
 """
 
-from repro.groupcomm.config import GroupConfig, Liveliness, LivelinessConfig, Ordering
+from repro.groupcomm.config import (
+    GroupConfig,
+    Liveliness,
+    LivelinessConfig,
+    Ordering,
+    OrderingConfig,
+)
 from repro.groupcomm.lamport import LamportClock
 from repro.groupcomm.service import GroupCommService, NSO_OBJECT_ID, PROTOCOL_COST
 from repro.groupcomm.session import DELIVER_COST, GroupSession
@@ -18,6 +24,7 @@ __all__ = [
     "Ordering",
     "Liveliness",
     "LivelinessConfig",
+    "OrderingConfig",
     "LamportClock",
     "VectorClock",
     "PROTOCOL_COST",

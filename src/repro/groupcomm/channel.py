@@ -109,6 +109,10 @@ class ChannelManager:
         self._in: Dict[str, _Incoming] = {}
         self.retransmissions = 0
         self.nacks_sent = 0
+        #: piggyback the cumulative receive ack on reverse-direction data
+        #: frames; a standalone ChanAck then only fires when the reverse
+        #: direction stays silent past the ack deadline
+        self.ack_piggyback = True
         #: True while ``transport`` is being invoked for a *retransmitted*
         #: frame — the service reads this to classify the send under its own
         #: ``retransmit`` traffic kind instead of the frame's payload kind.
@@ -117,6 +121,7 @@ class ChannelManager:
         self._retransmit_counter = metrics.counter("gc.channel.retransmissions")
         self._nack_counter = metrics.counter("gc.channel.nacks_sent")
         self._gap_skip_counter = metrics.counter("gc.channel.gap_skips")
+        self._piggyback_counter = metrics.counter("gc.channel.acks_piggybacked")
 
     # ------------------------------------------------------------------
     # sending
@@ -126,7 +131,9 @@ class ChannelManager:
         if peer == self.local:
             raise ValueError("channels do not loop back; deliver locally instead")
         out = self._out.setdefault(peer, _Outgoing())
-        self.transport(peer, out.frame(inner, self.sim.now))
+        frame = out.frame(inner, self.sim.now)
+        self._attach_ack(peer, frame)
+        self.transport(peer, frame)
         if out.probe_timer is None:
             out.probe_timer = self.sim.schedule(PROBE_PERIOD, self._probe, peer)
 
@@ -161,11 +168,28 @@ class ChannelManager:
 
     def _retransmit(self, peer: str, frame: ChanData) -> None:
         """Send a repaired frame with the ``retransmitting`` flag raised."""
+        self._attach_ack(peer, frame)
         self.retransmitting = True
         try:
             self.transport(peer, frame)
         finally:
             self.retransmitting = False
+
+    def _attach_ack(self, peer: str, frame: ChanData) -> None:
+        """Piggyback our cumulative receive ack for ``peer`` on an outgoing
+        data frame, discharging any pending standalone-ack debt."""
+        if not self.ack_piggyback:
+            return
+        inc = self._in.get(peer)
+        if inc is None or inc.expected <= 1:
+            return
+        frame.ack = inc.expected - 1
+        if inc.unacked:
+            inc.unacked = 0
+            self._piggyback_counter.inc()
+        if inc.ack_timer is not None:
+            inc.ack_timer.cancel()
+            inc.ack_timer = None
 
     # ------------------------------------------------------------------
     # receiving
@@ -184,6 +208,11 @@ class ChannelManager:
             self._on_reset(peer, message)
 
     def _on_data(self, peer: str, frame: ChanData) -> None:
+        if frame.ack is not None:
+            # piggybacked reverse-direction cumulative ack
+            out = self._out.get(peer)
+            if out is not None:
+                out.ack(frame.ack)
         inc = self._in.setdefault(peer, _Incoming())
         if frame.seq < inc.expected:
             self._bump_ack(peer, inc)  # duplicate: re-ack so sender can GC
@@ -194,16 +223,35 @@ class ChannelManager:
             self._schedule_nack(peer, inc)
             return
         # contiguous: deliver it and any buffered successors
+        had_buffered = bool(inc.out_of_order)
         self.upcall(peer, frame.inner)
         inc.expected += 1
         while inc.expected in inc.out_of_order:
             self.upcall(peer, inc.out_of_order.pop(inc.expected))
             inc.expected += 1
-        if not inc.out_of_order and inc.nack_timer is not None:
-            inc.nack_timer.cancel()
-            inc.nack_timer = None
-            inc.nack_tries = 0
+        self._gap_progress(peer, inc, had_buffered)
         self._bump_ack(peer, inc)
+
+    def _gap_progress(self, peer: str, inc: _Incoming, filled: bool) -> None:
+        """Reset NACK bookkeeping after contiguous delivery progressed.
+
+        Once a gap fills, ``nack_tries`` and its backoff belong to history:
+        a later, unrelated gap must start from the base retry interval, not
+        mid-backoff from a repair that already succeeded.
+        """
+        if not inc.out_of_order:
+            if inc.nack_timer is not None:
+                inc.nack_timer.cancel()
+                inc.nack_timer = None
+            inc.nack_tries = 0
+        elif filled:
+            # the head gap filled but a later one remains: restart the NACK
+            # cycle for it at the base interval
+            if inc.nack_timer is not None:
+                inc.nack_timer.cancel()
+                inc.nack_timer = None
+            inc.nack_tries = 0
+            self._schedule_nack(peer, inc)
 
     # ------------------------------------------------------------------
     # acknowledgements
@@ -305,10 +353,7 @@ class ChannelManager:
         while inc.expected in inc.out_of_order:
             self.upcall(peer, inc.out_of_order.pop(inc.expected))
             inc.expected += 1
-        if not inc.out_of_order and inc.nack_timer is not None:
-            inc.nack_timer.cancel()
-            inc.nack_timer = None
-            inc.nack_tries = 0
+        self._gap_progress(peer, inc, True)
         self._bump_ack(peer, inc)
 
     # ------------------------------------------------------------------

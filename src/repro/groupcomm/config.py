@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.orb.marshal import corba_struct
 
-__all__ = ["Ordering", "Liveliness", "LivelinessConfig", "GroupConfig"]
+__all__ = ["Ordering", "Liveliness", "LivelinessConfig", "OrderingConfig", "GroupConfig"]
 
 
 class Ordering:
@@ -104,6 +104,50 @@ class LivelinessConfig:
 
 
 @corba_struct
+class OrderingConfig:
+    """Ordering-layer traffic tuning: ticket batching and ack piggybacking.
+
+    ``ticket_batch_max``/``ticket_batch_delay`` let an asymmetric group's
+    sequencer coalesce ticket assignments: tickets accumulate until either
+    ``ticket_batch_max`` assignments are pending or ``ticket_batch_delay``
+    seconds of virtual time elapse since the first pending assignment,
+    whichever comes first, then go out as one batched ticket multicast.
+    The defaults (batch of 1) preserve one-TicketMsg-per-data-message wire
+    behaviour exactly.
+
+    ``ack_piggyback`` lets the reliable channel carry its cumulative ack on
+    reverse-direction data frames, so standalone ``ChanAck`` messages only
+    fire when the reverse direction stays silent past the ack deadline.
+    """
+
+    __slots__ = ("ticket_batch_max", "ticket_batch_delay", "ack_piggyback")
+    _fields = __slots__
+
+    def __init__(
+        self,
+        ticket_batch_max: int = 1,
+        ticket_batch_delay: float = 2e-3,
+        ack_piggyback: bool = True,
+    ):
+        if ticket_batch_max < 1:
+            raise ValueError("ticket_batch_max must be at least 1")
+        if ticket_batch_delay < 0.0:
+            raise ValueError("ticket_batch_delay must be >= 0")
+        self.ticket_batch_max = int(ticket_batch_max)
+        self.ticket_batch_delay = ticket_batch_delay
+        self.ack_piggyback = bool(ack_piggyback)
+
+    def __repr__(self) -> str:
+        batch = (
+            f"batch<={self.ticket_batch_max}/{self.ticket_batch_delay * 1e3:g}ms"
+            if self.ticket_batch_max > 1
+            else "unbatched"
+        )
+        ack = "piggyback" if self.ack_piggyback else "timed-ack"
+        return f"OrderingConfig({batch}, {ack})"
+
+
+@corba_struct
 class GroupConfig:
     """Per-group protocol parameters.
 
@@ -126,6 +170,7 @@ class GroupConfig:
         "sequencer_hint",
         "send_window",
         "liveliness_config",
+        "ordering_config",
     )
     _fields = __slots__
 
@@ -141,6 +186,7 @@ class GroupConfig:
         sequencer_hint: str = "",
         send_window: int = 64,
         liveliness_config: "LivelinessConfig | None" = None,
+        ordering_config: "OrderingConfig | None" = None,
     ):
         if ordering not in Ordering.ALL:
             raise ValueError(f"unknown ordering {ordering!r}")
@@ -163,6 +209,7 @@ class GroupConfig:
         #: flow control: max own unstable data messages before sends queue
         self.send_window = send_window
         self.liveliness_config = liveliness_config or LivelinessConfig()
+        self.ordering_config = ordering_config or OrderingConfig()
 
     @property
     def is_total(self) -> bool:

@@ -23,6 +23,7 @@ from repro.orb.marshal import corba_struct
 __all__ = [
     "DataMsg",
     "TicketMsg",
+    "TicketBatchMsg",
     "JoinReq",
     "LeaveReq",
     "SuspectMsg",
@@ -140,6 +141,41 @@ class TicketMsg:
 
 
 @corba_struct
+class TicketBatchMsg:
+    """A coalesced run of ticket assignments from one sequencer.
+
+    ``tickets`` is a list of ``(ticket, target_sender, target_gseq)``
+    triples in strictly increasing ticket order — the same order the
+    sequencer assigned them, so receivers unpack sequentially through the
+    exact single-ticket insertion path and cross-group merge semantics are
+    preserved (the batch occupies one channel slot, hence one FIFO arrival,
+    for all its tickets).
+    """
+
+    __slots__ = ("group", "sender", "view_id", "tickets")
+    _fields = __slots__
+
+    def __init__(
+        self,
+        group: str,
+        sender: str,
+        view_id: int,
+        tickets: List[Tuple[int, str, int]],
+    ):
+        self.group = group
+        self.sender = sender
+        self.view_id = view_id
+        self.tickets = [tuple(entry) for entry in tickets]
+
+    def __repr__(self) -> str:
+        if self.tickets:
+            span = f"{self.tickets[0][0]}..{self.tickets[-1][0]}"
+        else:
+            span = "empty"
+        return f"<ticket-batch {span} ({len(self.tickets)}) {self.group}>"
+
+
+@corba_struct
 class JoinReq:
     """Request to join ``group``; routed to the coordinator."""
 
@@ -251,14 +287,20 @@ class ViewInstall:
 
 @corba_struct
 class ChanData:
-    """Reliable-channel frame: sequenced carrier for one protocol message."""
+    """Reliable-channel frame: sequenced carrier for one protocol message.
 
-    __slots__ = ("seq", "inner")
+    ``ack`` optionally piggybacks the sender's cumulative receive
+    acknowledgement for the reverse direction of the channel (same meaning
+    as ``ChanAck.cum_seq``; None when piggybacking is off).
+    """
+
+    __slots__ = ("seq", "inner", "ack")
     _fields = __slots__
 
-    def __init__(self, seq: int, inner: Any):
+    def __init__(self, seq: int, inner: Any, ack: Optional[int] = None):
         self.seq = seq
         self.inner = inner
+        self.ack = ack
 
 
 @corba_struct

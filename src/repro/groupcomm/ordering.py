@@ -27,7 +27,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Dict, List, Optional, Set, Tuple
 
-from repro.groupcomm.messages import DataMsg, TicketMsg
+from repro.groupcomm.messages import DataMsg, TicketBatchMsg, TicketMsg
 from repro.groupcomm.vectorclock import VectorClock
 
 __all__ = [
@@ -67,6 +67,9 @@ class OrderingStrategy:
         raise NotImplementedError
 
     def on_ticket(self, ticket: TicketMsg) -> None:
+        pass  # only meaningful for asymmetric ordering
+
+    def on_ticket_batch(self, batch: TicketBatchMsg) -> None:
         pass  # only meaningful for asymmetric ordering
 
     # -- state queries ----------------------------------------------------
@@ -221,6 +224,13 @@ class AsymmetricOrder(OrderingStrategy):
         return self.session.sequencer
 
     # -- intake ---------------------------------------------------------
+    def _learn_ticket(self, ticket: int, key: Tuple[str, int]) -> None:
+        """The single insertion point for a ticket assignment: record it and
+        enqueue it with the cross-group merger (which delivers tickets from
+        one sequencer in arrival order)."""
+        self.known_tickets[key] = ticket
+        self.session._enqueue_ticket(ticket, key)
+
     def on_local_send(self, msg: DataMsg) -> None:
         if msg.is_null:
             return
@@ -228,8 +238,7 @@ class AsymmetricOrder(OrderingStrategy):
         self.arrived[key] = msg
         if msg.ticket is not None:
             # self-sequenced: we are the sequencer
-            self.known_tickets[key] = msg.ticket
-            self.session._enqueue_ticket(msg.ticket, key)
+            self._learn_ticket(msg.ticket, key)
         # non-sequencer senders wait for the sequencer's ticket
 
     def on_data(self, msg: DataMsg) -> None:
@@ -238,20 +247,21 @@ class AsymmetricOrder(OrderingStrategy):
         key = (msg.sender, msg.gseq)
         self.arrived[key] = msg
         if msg.ticket is not None:
-            self.known_tickets[key] = msg.ticket
-            self.session._enqueue_ticket(msg.ticket, key)
+            self._learn_ticket(msg.ticket, key)
         elif self.session.member_id == self.sequencer:
             # we are the sequencer: assign and announce a ticket
             ticket = self.session.service.next_ticket()
-            self.known_tickets[key] = ticket
+            self._learn_ticket(ticket, key)
             self.session._announce_ticket(ticket, key)
-            self.session._enqueue_ticket(ticket, key)
         self.session._drain_tickets()
 
     def on_ticket(self, ticket: TicketMsg) -> None:
-        key = (ticket.target_sender, ticket.target_gseq)
-        self.known_tickets[key] = ticket.ticket
-        self.session._enqueue_ticket(ticket.ticket, key)
+        self._learn_ticket(ticket.ticket, (ticket.target_sender, ticket.target_gseq))
+        self.session._drain_tickets()
+
+    def on_ticket_batch(self, batch: TicketBatchMsg) -> None:
+        for value, target_sender, target_gseq in batch.tickets:
+            self._learn_ticket(value, (target_sender, target_gseq))
         self.session._drain_tickets()
 
     # -- delivery (driven by the ticket merger) ---------------------------

@@ -31,10 +31,12 @@ from repro.groupcomm.messages import (
     KIND_NULL,
     LeaveReq,
     SuspectMsg,
+    TicketBatchMsg,
     TicketMsg,
     ViewInstall,
 )
 from repro.groupcomm.session import GroupSession
+from repro.groupcomm.ticketbatch import TicketBatcher
 from repro.groupcomm.views import GroupView
 from repro.orb.ior import IOR
 from repro.orb.orb import ORB
@@ -72,6 +74,7 @@ class GroupCommService:
         self.clock = LamportClock()
         self.clock_merger = SharedClockMerger()
         self.ticket_merger = TicketMerger()
+        self.ticket_batcher = TicketBatcher(self)
         self.sessions: Dict[str, GroupSession] = {}
         #: outbound protocol-message counts by kind (data / null / ticket /
         #: membership / channel control / retransmit) — the basis of the
@@ -163,7 +166,7 @@ class GroupCommService:
         inner = message.inner if isinstance(message, ChanData) else message
         if isinstance(inner, DataMsg):
             return "null" if inner.kind == KIND_NULL else "data"
-        if isinstance(inner, TicketMsg):
+        if isinstance(inner, (TicketMsg, TicketBatchMsg)):
             return "ticket"
         if isinstance(inner, (JoinReq, LeaveReq, SuspectMsg, FlushReq, FlushOk, ViewInstall)):
             return "membership"
@@ -191,6 +194,8 @@ class GroupCommService:
             session.on_data(peer, message)
         elif isinstance(message, TicketMsg):
             session.on_ticket(peer, message)
+        elif isinstance(message, TicketBatchMsg):
+            session.on_ticket_batch(peer, message)
         elif isinstance(message, JoinReq):
             session.membership.on_join_req(message)
         elif isinstance(message, LeaveReq):

@@ -28,6 +28,7 @@ from repro.groupcomm.messages import (
     DataMsg,
     KIND_DATA,
     KIND_NULL,
+    TicketBatchMsg,
     TicketMsg,
     ViewInstall,
 )
@@ -106,6 +107,8 @@ class GroupSession:
         self.ordering = make_ordering(config.ordering, self)
         self.detector = FailureDetector(self)
         self.membership = MembershipEngine(self)
+        if not config.ordering_config.ack_piggyback:
+            service.channels.ack_piggyback = False
         if initial_view is not None:
             self._register_with_mergers()
             self.detector.start()
@@ -245,6 +248,11 @@ class GroupSession:
                 self.ordering.name == "asymmetric"
                 and self.member_id == self.sequencer
             ):
+                # tickets batched for earlier remote messages must reach the
+                # channels before this self-ticketed data message, or peers
+                # would see this (larger) embedded ticket first and the
+                # cross-group arrival order would no longer be increasing
+                self.service.ticket_batcher.flush()
                 ticket = self.service.next_ticket()
             elif self.ordering.name == "causal":
                 vector = self.ordering.stamp()
@@ -356,6 +364,18 @@ class GroupSession:
         self.ordering.on_ticket(msg)
         self._post_event_drain()
 
+    def on_ticket_batch(self, peer: str, msg: TicketBatchMsg) -> None:
+        if self.state == "closed" or self.view is None:
+            return
+        if self.state == "joining" or msg.view_id > self.view.view_id:
+            self._future_buffer.append((peer, msg))
+            return
+        if msg.view_id < self.view.view_id:
+            return
+        self.detector.heard_from(msg.sender)
+        self.ordering.on_ticket_batch(msg)
+        self._post_event_drain()
+
     def _post_event_drain(self) -> None:
         if self.ordering.name == "symmetric":
             self.service.clock_merger.drain()
@@ -458,6 +478,12 @@ class GroupSession:
         self.service.ticket_merger.enqueue(self.sequencer, self, ticket, key)
 
     def _announce_ticket(self, ticket: int, key: Tuple[str, int]) -> None:
+        """Announce a ticket assignment to the group (via the batcher, which
+        may coalesce it with neighbouring assignments)."""
+        self.service.ticket_batcher.announce(self, ticket, key)
+
+    def _emit_ticket(self, ticket: int, key: Tuple[str, int]) -> None:
+        """Multicast one ticket assignment (the unbatched wire format)."""
         sender, gseq = key
         msg = TicketMsg(self.group, self.member_id, self.view.view_id, ticket, sender, gseq)
         tracer = self._tracer
@@ -468,6 +494,36 @@ class GroupSession:
                 kind="producer",
                 node=self.member_id,
                 attrs={"group": self.group, "ticket": ticket, "for": f"{sender}#{gseq}"},
+            )
+        with tracer.use(span):
+            for member in self.view.members:
+                if member != self.member_id:
+                    self.service.channels.send(member, msg)
+        tracer.end_span(span)
+        self.detector.sent_something()
+
+    def _emit_ticket_batch(self, entries: List[Tuple[int, Tuple[str, int]]]) -> None:
+        """Multicast a coalesced run of ticket assignments as one message."""
+        msg = TicketBatchMsg(
+            self.group,
+            self.member_id,
+            self.view.view_id,
+            [(ticket, key[0], key[1]) for ticket, key in entries],
+        )
+        tracer = self._tracer
+        span = None
+        if tracer.enabled:
+            first, last = entries[0][0], entries[-1][0]
+            span = tracer.start_span(
+                "gc.ticket",
+                kind="producer",
+                node=self.member_id,
+                attrs={
+                    "group": self.group,
+                    "ticket": first,
+                    "batch": len(entries),
+                    "span": f"{first}..{last}",
+                },
             )
         with tracer.use(span):
             for member in self.view.members:
@@ -542,6 +598,8 @@ class GroupSession:
             self.ordering = make_ordering(install.config.ordering, self)
             self.detector = FailureDetector(self)
             self.flow = FlowController(install.config.send_window)
+            if not install.config.ordering_config.ack_piggyback:
+                self.service.channels.ack_piggyback = False
         else:
             self._unregister_from_mergers()
             for msg in self.ordering.finalize(install.unstable, install.tickets):
@@ -593,6 +651,8 @@ class GroupSession:
         for peer, message in buffered:
             if isinstance(message, DataMsg):
                 self.on_data(peer, message)
+            elif isinstance(message, TicketBatchMsg):
+                self.on_ticket_batch(peer, message)
             else:
                 self.on_ticket(peer, message)
         held = self.flow.pop_all_queued()
@@ -616,6 +676,7 @@ class GroupSession:
     def _unregister_from_mergers(self) -> None:
         self.service.clock_merger.unregister(self)
         self.service.ticket_merger.purge(self)
+        self.service.ticket_batcher.purge(self)
 
     def _close(self) -> None:
         if self.state == "closed":

@@ -152,6 +152,7 @@ def _group_config(spec: ScenarioSpec, sequencer_hint: str) -> GroupConfig:
         flush_timeout=group.flush_timeout,
         sequencer_hint=sequencer_hint,
         liveliness_config=group.build_liveliness_config(),
+        ordering_config=group.build_ordering_config(),
     )
 
 
@@ -218,6 +219,7 @@ def _setup_peer(env: Environment, spec: ScenarioSpec):
         silence_period=spec.group.silence_period,
         suspicion_timeout=max(spec.group.suspicion_timeout, 100e-3),
         liveliness_config=spec.group.build_liveliness_config(),
+        ordering_config=spec.group.build_ordering_config(),
     )
     sessions = [services[0].create_peer_group("conf", config)]
     for service in services[1:]:

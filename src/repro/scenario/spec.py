@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.modes import BindingStyle, Mode, ReplicationPolicy
-from repro.groupcomm.config import Liveliness, LivelinessConfig, Ordering
+from repro.groupcomm.config import Liveliness, LivelinessConfig, Ordering, OrderingConfig
 from repro.scenario.arrivals import arrival_process_from_spec
 from repro.scenario.faults import FaultEvent
 from repro.scenario.slo import build_slos
@@ -56,11 +56,12 @@ class GroupSpec:
     flush_timeout: float = 5.0
     silence_period: float = 50e-3
     liveliness_config: Dict = field(default_factory=dict)
+    ordering_config: Dict = field(default_factory=dict)
 
     _FIELDS = (
         "replicas", "style", "ordering", "restricted", "async_forwarding",
         "policy", "liveliness", "suspicion_timeout", "flush_timeout",
-        "silence_period", "liveliness_config",
+        "silence_period", "liveliness_config", "ordering_config",
     )
 
     def __post_init__(self):
@@ -71,6 +72,7 @@ class GroupSpec:
         _check_choice("group", "policy", self.policy, ReplicationPolicy.ALL_POLICIES)
         _check_choice("group", "liveliness", self.liveliness, Liveliness.ALL)
         self.build_liveliness_config()  # validate eagerly
+        self.build_ordering_config()
 
     def build_liveliness_config(self) -> LivelinessConfig:
         """The group's quiescence tuning (empty dict = library defaults)."""
@@ -80,6 +82,15 @@ class GroupSpec:
             return LivelinessConfig(**self.liveliness_config)
         except (TypeError, ValueError) as exc:
             raise ValueError(f"group.liveliness_config: {exc}") from exc
+
+    def build_ordering_config(self) -> OrderingConfig:
+        """Ticket batching / ack piggybacking (empty dict = library defaults)."""
+        if not isinstance(self.ordering_config, dict):
+            raise ValueError("group.ordering_config must be an object")
+        try:
+            return OrderingConfig(**self.ordering_config)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"group.ordering_config: {exc}") from exc
 
     @classmethod
     def from_dict(cls, data: Dict) -> "GroupSpec":

@@ -1,0 +1,252 @@
+"""Randomized protocol-invariant harness: record any run, check semantics.
+
+``record_protocol()`` patches :class:`~repro.groupcomm.session.GroupSession`
+class-wide for the duration of a ``with`` block, logging every member's
+protocol-visible events in order:
+
+- ``("send", view_id, sender, gseq)`` — a data multicast leaving the member
+  (recorded before the send executes, so it sits after everything the
+  member had delivered at that point: the causal capture);
+- ``("deliver", view_id, sender, gseq)`` — a data message clearing
+  group-level ordering at the member (recorded synchronously at the
+  protocol decision, before the asynchronous application upcall, and
+  attributed to the view the message was *sent* in);
+- ``("view", view_id, members)`` — a view install completing (including
+  the creator's initial view).
+
+``check_invariants()`` replays the logs and returns human-readable
+violation strings (empty list = all good) for the four properties the
+reproduction exists to demonstrate:
+
+1. **Total-order agreement** — any two members deliver their common
+   messages in the same relative order (checked for total-order groups).
+2. **Gap-free FIFO** — each member's deliveries from one sender in one
+   view are gseq 1, 2, 3, ... with no gap and no reordering.
+3. **Causal precedence** — if a member delivered A before sending B, no
+   member delivers B before A.
+4. **Virtual synchrony** — members that close a view together (both
+   install a later view) delivered exactly the same set of that view's
+   messages.
+
+Members that crash mid-run may legitimately diverge in their final
+instants (the protocols are non-uniform: agreement binds the members that
+survive into the next view), so pass their ids via ``exclude``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.groupcomm.messages import KIND_DATA
+from repro.groupcomm.session import GroupSession
+
+__all__ = ["ProtocolRecord", "record_protocol", "check_invariants"]
+
+MsgId = Tuple[int, str, int]  # (view_id, sender, gseq)
+
+
+class ProtocolRecord:
+    """Ordered per-(group, member) event logs from one recorded run."""
+
+    def __init__(self):
+        self.events: Dict[Tuple[str, str], List[tuple]] = {}
+
+    def log(self, group: str, member: str) -> List[tuple]:
+        return self.events.setdefault((group, member), [])
+
+    def groups(self) -> List[str]:
+        return sorted({group for group, _member in self.events})
+
+    def members_of(self, group: str) -> List[str]:
+        return sorted(m for g, m in self.events if g == group)
+
+    def deliveries(self, group: str, member: str) -> List[MsgId]:
+        return [
+            (event[1], event[2], event[3])
+            for event in self.events.get((group, member), [])
+            if event[0] == "deliver"
+        ]
+
+
+@contextmanager
+def record_protocol():
+    """Record all GroupSession activity (class-wide) inside the block."""
+    record = ProtocolRecord()
+    orig_init = GroupSession.__init__
+    orig_do_send = GroupSession._do_send
+    orig_deliver = GroupSession._deliver_app
+    orig_apply = GroupSession.apply_view_install
+
+    def patched_init(self, service, group, config, initial_view=None):
+        orig_init(self, service, group, config, initial_view=initial_view)
+        if initial_view is not None:
+            record.log(group, self.member_id).append(
+                ("view", initial_view.view_id, tuple(initial_view.members))
+            )
+
+    def patched_do_send(self, payload, kind):
+        if kind == KIND_DATA and self.view is not None:
+            record.log(self.group, self.member_id).append(
+                ("send", self.view.view_id, self.member_id, self._gseq_next)
+            )
+        orig_do_send(self, payload, kind)
+
+    def patched_deliver(self, msg):
+        if not msg.is_null:
+            record.log(self.group, self.member_id).append(
+                ("deliver", msg.view_id, msg.sender, msg.gseq)
+            )
+        orig_deliver(self, msg)
+
+    def patched_apply(self, install):
+        orig_apply(self, install)
+        record.log(self.group, self.member_id).append(
+            ("view", install.view.view_id, tuple(install.view.members))
+        )
+
+    GroupSession.__init__ = patched_init
+    GroupSession._do_send = patched_do_send
+    GroupSession._deliver_app = patched_deliver
+    GroupSession.apply_view_install = patched_apply
+    try:
+        yield record
+    finally:
+        GroupSession.__init__ = orig_init
+        GroupSession._do_send = orig_do_send
+        GroupSession._deliver_app = orig_deliver
+        GroupSession.apply_view_install = orig_apply
+
+
+# ---------------------------------------------------------------------------
+# invariant checks
+# ---------------------------------------------------------------------------
+def check_invariants(
+    record: ProtocolRecord,
+    total_order: bool = True,
+    exclude: Iterable[str] = (),
+    groups: Iterable[str] = None,
+) -> List[str]:
+    """All detected violations across every recorded group (empty = pass).
+
+    ``total_order=False`` skips check 1 (causal/FIFO-only groups).
+    ``exclude`` names members whose cross-member guarantees lapsed
+    (crashed mid-run); their logs are ignored entirely.
+    """
+    excluded: FrozenSet[str] = frozenset(exclude)
+    violations: List[str] = []
+    for group in groups if groups is not None else record.groups():
+        members = [m for m in record.members_of(group) if m not in excluded]
+        orders = {m: record.deliveries(group, m) for m in members}
+        if total_order:
+            violations += _check_total_order(group, orders)
+        violations += _check_fifo_gapfree(group, orders)
+        violations += _check_causal(group, record, members, orders)
+        violations += _check_virtual_synchrony(group, record, members, orders)
+    return violations
+
+
+def _check_total_order(group: str, orders: Dict[str, List[MsgId]]) -> List[str]:
+    violations = []
+    members = sorted(orders)
+    for i, m1 in enumerate(members):
+        for m2 in members[i + 1 :]:
+            common = set(orders[m1]) & set(orders[m2])
+            seq1 = [x for x in orders[m1] if x in common]
+            seq2 = [x for x in orders[m2] if x in common]
+            if seq1 != seq2:
+                spot = next(
+                    (k for k, (a, b) in enumerate(zip(seq1, seq2)) if a != b),
+                    min(len(seq1), len(seq2)),
+                )
+                violations.append(
+                    f"total-order: {group}: {m1} and {m2} disagree at common "
+                    f"position {spot}: {seq1[spot:spot+3]} vs {seq2[spot:spot+3]}"
+                )
+    return violations
+
+
+def _check_fifo_gapfree(group: str, orders: Dict[str, List[MsgId]]) -> List[str]:
+    violations = []
+    for member, order in orders.items():
+        per_sender: Dict[Tuple[int, str], List[int]] = {}
+        for view_id, sender, gseq in order:
+            per_sender.setdefault((view_id, sender), []).append(gseq)
+        for (view_id, sender), gseqs in per_sender.items():
+            expected = list(range(1, len(gseqs) + 1))
+            if gseqs != expected:
+                violations.append(
+                    f"fifo: {group}: {member} delivered view {view_id} sender "
+                    f"{sender} gseqs {gseqs[:6]}... (want contiguous from 1)"
+                )
+    return violations
+
+
+def _check_causal(
+    group: str,
+    record: ProtocolRecord,
+    members: List[str],
+    orders: Dict[str, List[MsgId]],
+) -> List[str]:
+    violations = []
+    positions = {
+        m: {msg_id: idx for idx, msg_id in enumerate(order)}
+        for m, order in orders.items()
+    }
+    for member in members:
+        delivered_before: List[MsgId] = []
+        for event in record.events.get((group, member), []):
+            if event[0] == "deliver":
+                delivered_before.append((event[1], event[2], event[3]))
+            elif event[0] == "send":
+                sent: MsgId = (event[1], event[2], event[3])
+                for observer in members:
+                    pos = positions[observer]
+                    if sent not in pos:
+                        continue
+                    bad = [
+                        dep
+                        for dep in delivered_before
+                        if dep in pos and pos[dep] > pos[sent]
+                    ]
+                    if bad:
+                        violations.append(
+                            f"causal: {group}: {observer} delivered {sent} "
+                            f"before its cause(s) {bad[:3]} (sender {member} "
+                            f"had delivered them before sending)"
+                        )
+    return violations
+
+
+def _check_virtual_synchrony(
+    group: str,
+    record: ProtocolRecord,
+    members: List[str],
+    orders: Dict[str, List[MsgId]],
+) -> List[str]:
+    violations = []
+    # views each member closed: installed AND followed by a successor view
+    closed: Dict[int, List[str]] = {}
+    for member in members:
+        views = [e for e in record.events.get((group, member), []) if e[0] == "view"]
+        for event, _successor in zip(views, views[1:]):
+            if member in event[2]:
+                closed.setdefault(event[1], []).append(member)
+    for view_id, closers in sorted(closed.items()):
+        if len(closers) < 2:
+            continue
+        sets: Dict[str, Set[MsgId]] = {
+            m: {msg_id for msg_id in orders[m] if msg_id[0] == view_id}
+            for m in closers
+        }
+        reference = sets[closers[0]]
+        for member in closers[1:]:
+            if sets[member] != reference:
+                only_ref = sorted(reference - sets[member])[:3]
+                only_m = sorted(sets[member] - reference)[:3]
+                violations.append(
+                    f"virtual-synchrony: {group}: view {view_id} closed with "
+                    f"different delivery sets: {closers[0]} extra {only_ref}, "
+                    f"{member} extra {only_m}"
+                )
+    return violations

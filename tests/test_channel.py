@@ -127,3 +127,147 @@ def test_gap_skipped_after_max_retries():
     sim.run(until=5.0)
     assert delivered == ["two", "three", "four"]
     assert not b.has_pending_gaps()
+
+
+def test_nack_backoff_resets_once_gap_fills():
+    """Regression: after a gap is repaired, a later unrelated gap must start
+    its NACK cycle from the base interval, not mid-backoff."""
+    from repro.groupcomm.channel import NACK_RETRY
+
+    sim = Simulator()
+    pipe = Pipe(sim)
+    b_in = pipe.b._in
+    # first gap: frame 2 lost, repaired by NACK
+    pipe.loss_seqs.add(("a", 2))
+    for i in range(1, 5):
+        pipe.a.send("b", i)
+    sim.run(until=0.5)
+    assert pipe.delivered_b == [1, 2, 3, 4]
+    # bookkeeping fully reset after the repair
+    inc = b_in["a"]
+    assert inc.nack_tries == 0
+    assert inc.nack_timer is None
+    # second, unrelated gap much later: the first NACK retry must be
+    # scheduled at the base NACK_RETRY interval (no inherited backoff)
+    pipe.loss_seqs.add(("a", 6))
+    for i in range(5, 9):
+        pipe.a.send("b", i)
+    sim.run(until=sim.now + 2 * 1e-3 + 1e-6)  # gap detected, retry timer armed
+    assert inc.out_of_order
+    assert inc.nack_timer is not None
+    assert inc.nack_timer.time - sim.now <= NACK_RETRY + 1e-9
+    sim.run(until=sim.now + 0.5)
+    assert pipe.delivered_b == list(range(1, 9))
+
+
+def test_nack_tries_reset_when_head_gap_fills_but_later_gap_remains():
+    """The satellite bug: a head-gap repair while a later gap is still open
+    left ``nack_tries`` mid-backoff.  Now the cycle restarts at base rate."""
+    sim = Simulator()
+    delivered = []
+    b = ChannelManager(sim, "b", lambda p, m: None, lambda p, m: delivered.append(m))
+    inc_factory = lambda: b._in["a"]
+    # two gaps: frame 1 missing (head) and frame 3 missing (later)
+    b.on_message("a", ChanData(2, "two"))
+    b.on_message("a", ChanData(4, "four"))
+    sim.run(until=0.1)  # several NACK retries elapse, backoff builds up
+    assert inc_factory().nack_tries > 0
+    tries_before = inc_factory().nack_tries
+    # the head gap fills; the later gap (frame 3) remains
+    b.on_message("a", ChanData(1, "one"))
+    assert delivered == ["one", "two"]
+    assert inc_factory().out_of_order  # frame 4 still buffered behind gap
+    assert inc_factory().nack_tries == 0, (
+        f"nack_tries must reset when a gap fills (was {tries_before})"
+    )
+    assert inc_factory().nack_timer is not None  # fresh cycle for frame 3
+    b.on_message("a", ChanData(3, "three"))
+    assert delivered == ["one", "two", "three", "four"]
+    assert inc_factory().nack_tries == 0
+    assert inc_factory().nack_timer is None
+
+
+def test_piggybacked_acks_advance_sender_stability():
+    """With reverse traffic flowing, standalone ChanAcks are suppressed but
+    the sender's retransmit buffer still drains via piggybacked acks."""
+    sim = Simulator()
+    pipe = Pipe(sim)
+    standalone_acks = []
+    orig_transport = pipe.b.transport
+
+    def counting_transport(peer, message):
+        if isinstance(message, ChanAck):
+            standalone_acks.append(message)
+        orig_transport(peer, message)
+
+    pipe.b.transport = counting_transport
+    # ping-pong: every a->b frame is followed by a b->a frame within the
+    # ack deadline, so b never needs a standalone ack
+    def pong(peer, inner):
+        pipe.delivered_b.append(inner)
+        pipe.b.send("a", f"re:{inner}")
+
+    pipe.b.upcall = pong
+    for i in range(ACK_EVERY * 2):
+        pipe.a.send("b", i)
+        sim.run(until=sim.now + 5e-3)
+    sim.run(until=sim.now + 1e-3)
+    assert pipe.delivered_b == list(range(ACK_EVERY * 2))
+    # stability advanced purely through piggybacked acks
+    assert pipe.a.outstanding_to("b") <= 1
+    assert standalone_acks == []
+    piggy = sim.obs.metrics.counter_value("gc.channel.acks_piggybacked")
+    assert piggy > 0
+
+
+def test_silent_reverse_direction_falls_back_to_timed_acks():
+    """No reverse traffic: the ACK_DELAY timer still emits standalone acks
+    and the sender's buffer drains as before."""
+    from repro.groupcomm.channel import ACK_DELAY
+
+    sim = Simulator()
+    pipe = Pipe(sim)
+    acks = []
+    orig_transport = pipe.b.transport
+
+    def counting_transport(peer, message):
+        if isinstance(message, ChanAck):
+            acks.append(message)
+        orig_transport(peer, message)
+
+    pipe.b.transport = counting_transport
+    pipe.a.send("b", "one-way")
+    sim.run(until=ACK_DELAY * 3)
+    assert pipe.delivered_b == ["one-way"]
+    assert len(acks) == 1
+    assert pipe.a.outstanding_to("b") == 0
+
+
+def test_ack_piggyback_disabled_restores_standalone_acks():
+    """With the knob off, frames carry no ack field and ChanAcks flow."""
+    sim = Simulator()
+    pipe = Pipe(sim)
+    pipe.a.ack_piggyback = False
+    pipe.b.ack_piggyback = False
+    frames = []
+    orig_transport = pipe.b.transport
+
+    def recording_transport(peer, message):
+        if isinstance(message, ChanData):
+            frames.append(message)
+        orig_transport(peer, message)
+
+    pipe.b.transport = recording_transport
+
+    def pong(peer, inner):
+        pipe.delivered_b.append(inner)
+        pipe.b.send("a", f"re:{inner}")
+
+    pipe.b.upcall = pong
+    for i in range(ACK_EVERY + 1):
+        pipe.a.send("b", i)
+        sim.run(until=sim.now + 5e-3)
+    sim.run(until=sim.now + 0.1)
+    assert all(frame.ack is None for frame in frames)
+    assert pipe.a.outstanding_to("b") == 0  # standalone acks did the work
+    assert sim.obs.metrics.counter_value("gc.channel.acks_piggybacked") == 0

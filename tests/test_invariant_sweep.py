@@ -1,0 +1,175 @@
+"""Randomized invariant sweep: seed x ordering x batching x fault matrix.
+
+Every cell replays a peer-group scenario under the protocol recorder and
+asserts the four NewTop invariants (total order, gap-free FIFO, causal
+precedence, virtual synchrony).  This is the acceptance gate for the
+sequencer ticket-batching change: batching must alter traffic, never
+semantics.
+
+The tier-1 matrix keeps 2 seeds for speed; CI's ``invariant-sweep`` job
+widens it via ``REPRO_INVARIANT_SEEDS`` (comma-separated list) to 20+.
+A mutation smoke-check deliberately reorders batched tickets and asserts
+the checker reports violations — proving the harness has teeth.
+"""
+
+import os
+
+import pytest
+
+from repro.groupcomm import GroupConfig, Liveliness, Ordering, OrderingConfig
+from repro.groupcomm.ordering import AsymmetricOrder
+from repro.scenario import run_scenario
+from tests.conftest import Cluster
+from tests.invariants import check_invariants, record_protocol
+from tests.test_groupcomm_basic import build_group
+
+SEEDS = [int(s) for s in os.environ.get("REPRO_INVARIANT_SEEDS", "7,23").split(",")]
+ORDERINGS = ["symmetric", "asymmetric"]
+BATCHING = [False, True]
+FAULTS = ["none", "crash-sequencer"]
+
+#: scenario peer members are named p0.., and p0 (the group creator) is the
+#: sequencer-equivalent the symbolic "manager" fault target resolves to
+SEQUENCER = "p0"
+
+
+def sweep_spec(seed: int, ordering: str, batch: bool, fault: str) -> dict:
+    ordering_config = (
+        {"ticket_batch_max": 6, "ticket_batch_delay": 2e-3} if batch else {}
+    )
+    faults = (
+        [{"at": 0.8, "kind": "crash", "target": "manager"}]
+        if fault == "crash-sequencer"
+        else []
+    )
+    return {
+        "name": f"invariant-{ordering}-s{seed}-b{int(batch)}-{fault}",
+        "seed": seed,
+        "topology": "lan",
+        "settle": 1.0,
+        "group": {
+            "replicas": 4,
+            "ordering": ordering,
+            "liveliness": "lively",
+            "silence_period": 30e-3,
+            "suspicion_timeout": 150e-3,
+            "flush_timeout": 150e-3,
+            "ordering_config": ordering_config,
+        },
+        "traffic": {
+            "workload": "peer",
+            "arrivals": {"kind": "poisson", "rate": 4.0},
+            "churn": {"initial": 3},
+            "duration": 2.0,
+            "drain": 4.0,
+            "timeout": 3.0,
+            "payload_chars": 40,
+        },
+        "faults": faults,
+        "slos": [],
+    }
+
+
+@pytest.mark.parametrize("fault", FAULTS)
+@pytest.mark.parametrize("batch", BATCHING)
+@pytest.mark.parametrize("ordering", ORDERINGS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_invariant_sweep(seed, ordering, batch, fault):
+    with record_protocol() as record:
+        report = run_scenario(sweep_spec(seed, ordering, batch, fault))
+    # the scenario must have actually multicast something
+    assert report["metrics"]["counters"].get("gc.delivered", 0) > 0
+    exclude = {SEQUENCER} if fault == "crash-sequencer" else set()
+    violations = check_invariants(record, total_order=True, exclude=exclude)
+    assert violations == []
+
+
+def test_sweep_delivers_same_messages_batched_or_not():
+    """Batching changes ticket traffic, not the delivered history: the
+    surviving members' delivery orders are identical batch on/off."""
+    histories = []
+    for batch in (False, True):
+        with record_protocol() as record:
+            run_scenario(sweep_spec(11, "asymmetric", batch, "none"))
+        histories.append(
+            {m: record.deliveries("conf", m) for m in record.members_of("conf")}
+        )
+    assert histories[0] == histories[1]
+
+
+# ---------------------------------------------------------------------------
+# mutation smoke-check: the harness must catch a deliberately broken protocol
+# ---------------------------------------------------------------------------
+def test_checker_catches_reordered_ticket_batch(monkeypatch):
+    """Deliberately deliver batched tickets in reverse order; the total-order
+    (or FIFO) invariant must flag it — proving the checker has teeth."""
+    original = AsymmetricOrder.on_ticket_batch
+
+    def sabotaged(self, batch):
+        batch.tickets = list(reversed(batch.tickets))
+        original(self, batch)
+
+    monkeypatch.setattr(AsymmetricOrder, "on_ticket_batch", sabotaged)
+    with record_protocol() as record:
+        run_scenario(sweep_spec(7, "asymmetric", True, "none"))
+    violations = check_invariants(record, total_order=True)
+    assert violations, "reversed ticket batches must violate an invariant"
+
+
+def test_checker_catches_conflicting_orders_directly():
+    """Unit-level teeth check: hand-built logs with a transposition."""
+    from tests.invariants import ProtocolRecord
+
+    record = ProtocolRecord()
+    a = (1, "n0", 1)
+    b = (1, "n1", 1)
+    for member, order in (("n0", [a, b]), ("n1", [b, a])):
+        log = record.log("g", member)
+        log.append(("view", 1, ("n0", "n1")))
+        for view_id, sender, gseq in order:
+            log.append(("deliver", view_id, sender, gseq))
+    violations = check_invariants(record)
+    assert any(v.startswith("total-order") for v in violations)
+
+
+# ---------------------------------------------------------------------------
+# satellite: sequencer fail-over mid-batch
+# ---------------------------------------------------------------------------
+def test_sequencer_failover_mid_batch():
+    """The sequencer crashes holding assigned-but-unsent batched tickets;
+    the survivors re-ticket through the new sequencer and deliver without
+    conflicting order."""
+    c = Cluster(4, seed=9)
+    config = GroupConfig(
+        ordering=Ordering.ASYMMETRIC,
+        liveliness=Liveliness.LIVELY,
+        silence_period=20e-3,
+        suspicion_timeout=100e-3,
+        ordering_config=OrderingConfig(ticket_batch_max=64, ticket_batch_delay=0.5),
+    )
+    with record_protocol() as record:
+        sessions = build_group(c, config)
+        # non-sequencer members multicast; the sequencer n0 accumulates
+        # ticket assignments in a wide-open batch window
+        for i in range(3):
+            sessions[1].send(f"x{i}")
+            sessions[2].send(f"y{i}")
+        # crash the sequencer before the batch window (0.5 s) can close,
+        # verifying it really holds assigned-but-unsent tickets at that point
+        pending_at_crash = []
+
+        def crash_sequencer():
+            pending_at_crash.append(c.services["n0"].ticket_batcher.pending_count())
+            c.net.crash("n0")
+
+        c.sim.schedule(0.05, crash_sequencer)
+        c.run(4.0)
+        assert pending_at_crash[0] > 0
+        survivors = sessions[1:]
+        assert all(set(s.view.members) == {"n1", "n2", "n3"} for s in survivors)
+        # every multicast reaches every survivor, in one agreed order
+        delivered = [record.deliveries("g", m) for m in ("n1", "n2", "n3")]
+        assert delivered[0] == delivered[1] == delivered[2]
+        assert len(delivered[0]) == 6
+    violations = check_invariants(record, total_order=True, exclude={"n0"})
+    assert violations == []

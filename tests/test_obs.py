@@ -281,6 +281,81 @@ def test_retransmissions_count_under_their_own_kind():
 
 
 # ---------------------------------------------------------------------------
+# ticket batching + ack piggybacking metrics (tentpole counters)
+# ---------------------------------------------------------------------------
+def test_ticket_batching_and_piggyback_metrics():
+    """A batching asymmetric group counts coalesced tickets under
+    ``gc.tickets_batched`` and suppressed standalone acks under
+    ``gc.channel.acks_piggybacked`` — and the per-kind ledgers still
+    reconcile exactly."""
+    from repro.groupcomm import Liveliness, OrderingConfig
+
+    c = Cluster(4, seed=5)
+    config = GroupConfig(
+        ordering=Ordering.ASYMMETRIC,
+        liveliness=Liveliness.LIVELY,
+        silence_period=30e-3,
+        suspicion_timeout=300e-3,
+        ordering_config=OrderingConfig(ticket_batch_max=4, ticket_batch_delay=2e-3),
+    )
+    creator = c.service(0)
+    sessions = [creator.create_group("g", config)]
+    for name in c.names[1:]:
+        sessions.append(c.services[name].join_group("g", c.names[0]))
+    c.run(1.0)
+    collectors = [Collector(s) for s in sessions]
+    for i in range(8):
+        for s in sessions[1:]:  # non-sequencer senders need tickets
+            s.send(f"{s.member_id}-{i}")
+    c.run(2.0)
+    assert all(len(col.deliveries) == 24 for col in collectors)
+    counters = c.sim.obs.metrics.snapshot()["counters"]
+    assert counters.get("gc.tickets_batched", 0) > 0
+    assert counters.get("gc.channel.acks_piggybacked", 0) > 0
+    # batching must cut ticket multicasts below one-per-remote-message
+    fanout = len(c.names) - 1
+    assert counters["gc.sent.ticket"] < 24 * fanout
+    reconciliation = reconcile_traffic(c.sim.obs.metrics_snapshot())
+    for kind, (sent, hops) in reconciliation.items():
+        assert sent == hops, f"{kind}: gc sent {sent} but net recorded {hops} hops"
+
+
+def test_piggybacked_acks_reduce_control_traffic():
+    """Same workload, piggybacking on vs off: control sends drop, delivered
+    data identical."""
+    from repro.groupcomm import Liveliness, OrderingConfig
+
+    results = {}
+    for piggyback in (False, True):
+        c = Cluster(3, seed=6)
+        config = GroupConfig(
+            ordering=Ordering.ASYMMETRIC,
+            suspicion_timeout=2.0,
+            flush_timeout=1.0,
+            ordering_config=OrderingConfig(ack_piggyback=piggyback),
+        )
+        creator = c.service(0)
+        sessions = [creator.create_group("g", config)]
+        for name in c.names[1:]:
+            sessions.append(c.services[name].join_group("g", c.names[0]))
+        c.run(1.0)
+        collectors = [Collector(s) for s in sessions]
+        for i in range(30):
+            for s in sessions:
+                s.send(f"{s.member_id}-{i}")
+        c.run(3.0)
+        assert all(len(col.deliveries) == 90 for col in collectors)
+        counters = c.sim.obs.metrics.snapshot()["counters"]
+        results[piggyback] = counters
+    assert results[True].get("gc.channel.acks_piggybacked", 0) > 0
+    assert results[False].get("gc.channel.acks_piggybacked", 0) == 0
+    assert results[True].get("gc.sent.control", 0) < results[False].get(
+        "gc.sent.control", 0
+    )
+    assert results[True]["gc.delivered"] == results[False]["gc.delivered"]
+
+
+# ---------------------------------------------------------------------------
 # CLI integration
 # ---------------------------------------------------------------------------
 def test_bench_cli_trace_and_metrics_flags(capsys, tmp_path, monkeypatch):

@@ -1,0 +1,104 @@
+"""Recovery ablation: what retry + rejoin buy under a manager crash.
+
+The seed treated both halves of a crash as final: a call that timed out
+stayed failed, and a crashed member never came back (the group served on,
+shrunk).  This bench runs the same manager-crash scenario — open binding,
+aggressive 0.5 s call timeouts, crash at t=1.5 s into a 4 s burst — with
+the recovery subsystem off (seed behaviour) and on (per-call retry policy
+plus a scheduled restart), and prints the failed-call rate and the final
+group size side by side.
+"""
+
+import pytest
+
+from repro.bench import print_table
+from repro.scenario import run_scenario
+
+
+def crash_spec(recover: bool) -> dict:
+    faults = [{"at": 1.5, "kind": "crash", "target": "s0"}]
+    retry = {}
+    if recover:
+        faults.append({"at": 3.0, "kind": "restart", "target": "s0"})
+        retry = {"max_attempts": 6, "base_delay": 0.2, "factor": 2.0, "max_delay": 1.5}
+    return {
+        "name": f"bench-recovery-{'on' if recover else 'off'}",
+        "seed": 7,
+        "topology": "lan",
+        "settle": 1.0,
+        "group": {
+            "replicas": 3,
+            "style": "open",
+            "ordering": "asymmetric",
+            "restricted": True,
+            "liveliness": "lively",
+            "silence_period": 0.02,
+            "suspicion_timeout": 0.1,
+            "flush_timeout": 1.0,
+            "retry": retry,
+        },
+        "traffic": {
+            "arrivals": {"kind": "poisson", "rate": 1.0},
+            "churn": {"initial": 10},
+            "duration": 4.0,
+            "drain": 25.0,
+            "workload": "request_reply",
+            "mode": "first",
+            "timeout": 0.5,
+            "bindings": 2,
+        },
+        "faults": faults,
+        "slos": [],
+    }
+
+
+def test_retry_and_rejoin_eliminate_failed_calls(benchmark):
+    results = {}
+
+    def run():
+        for label, recover in (("seed (crash is final)", False),
+                               ("retry + rejoin", True)):
+            results[label] = run_scenario(crash_spec(recover))
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for label, report in results.items():
+        traffic = report["traffic"]
+        counters = report["metrics"]["counters"]
+        offered, errors = traffic["offered"], traffic["errors"]
+        rows.append([
+            label,
+            offered,
+            traffic["completed"],
+            errors,
+            f"{100.0 * errors / offered:.1f}%",
+            counters.get("client.retries", 0),
+            counters.get("server.rejoins", 0),
+            len(report["recovery"]["view"] or []),
+        ])
+        benchmark.extra_info[label] = {
+            "offered": offered, "errors": errors,
+            "retries": counters.get("client.retries", 0),
+            "rejoins": counters.get("server.rejoins", 0),
+            "final_view": report["recovery"]["view"],
+        }
+    print_table(
+        ["configuration", "offered", "completed", "failed", "failed %",
+         "retries", "rejoins", "final view size"],
+        rows,
+        title="Manager crash, 0.5 s call timeouts (3 replicas, 2 bindings, LAN)",
+    )
+
+    seed = results["seed (crash is final)"]
+    recovered = results["retry + rejoin"]
+    # the seed loses the calls in the outage window and serves on shrunk
+    assert seed["traffic"]["errors"] > 0
+    assert len(seed["recovery"]["view"]) == 2
+    # retry bridges the outage, restart brings the member back
+    assert recovered["traffic"]["errors"] == 0
+    assert recovered["recovery"]["converged"]
+    assert len(recovered["recovery"]["view"]) == 3
+    assert recovered["metrics"]["counters"].get("client.retries", 0) >= 1
+    assert recovered["metrics"]["counters"].get("server.rejoins", 0) >= 1

@@ -31,6 +31,7 @@ from repro.groupcomm.config import (
     OrderingConfig,
 )
 from repro.orb.ior import IOR
+from repro.recovery.policy import RetryPolicy, backoff_delay
 from repro.sim.futures import Future
 from repro.sim.process import all_of
 
@@ -79,6 +80,8 @@ class _PendingCall:
         "timer",
         "span",
         "sent_at",
+        "timeout",
+        "attempts",
     )
 
     def __init__(self, call_no: int, operation: str, args: Tuple, mode: str, future: Future):
@@ -91,6 +94,8 @@ class _PendingCall:
         self.timer = None
         self.span = None  # root trace span for this invocation
         self.sent_at = 0.0
+        self.timeout: Optional[float] = None
+        self.attempts = 0  # retransmissions so far (RetryPolicy)
 
 
 class GroupBinding:
@@ -111,6 +116,7 @@ class GroupBinding:
         flush_timeout: float = 150e-3,
         liveliness_config: Optional[LivelinessConfig] = None,
         ordering_config: Optional[OrderingConfig] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if style not in BindingStyle.ALL_STYLES:
             raise ValueError(f"unknown binding style {style!r}")
@@ -130,6 +136,9 @@ class GroupBinding:
         self.flush_timeout = flush_timeout
         self.liveliness_config = liveliness_config
         self.ordering_config = ordering_config
+        self.retry_policy = (
+            retry_policy if retry_policy is not None and retry_policy.enabled else None
+        )
 
         obs = service.sim.obs
         self._tracer = obs.tracer
@@ -137,6 +146,8 @@ class GroupBinding:
         self._invocations_counter = obs.metrics.counter("client.invocations")
         self._rebind_counter = obs.metrics.counter("client.rebinds")
         self._timeout_counter = obs.metrics.counter("client.timeouts")
+        self._retry_counter = obs.metrics.counter("client.retries")
+        self._backoff_rng = service.sim.rng(f"client.backoff.{self.client_id}")
 
         self.ready = Future(name=f"bound:{service_name}@{self.client_id}")
         self.manager: Optional[str] = None  # open style: current request manager
@@ -315,6 +326,7 @@ class GroupBinding:
         self.service.register_pending(call_no, self)
         future.add_done_callback(lambda f: self._finish_invoke(pending, f))
         if timeout is not None:
+            pending.timeout = timeout
             pending.timer = self.sim.schedule(
                 timeout, self._on_call_timeout, call_no
             )
@@ -371,14 +383,43 @@ class GroupBinding:
         )
 
     def _on_call_timeout(self, call_no: int) -> None:
-        pending = self._pending.pop(call_no, None)
+        pending = self._pending.get(call_no)
         if pending is None:
             return
+        policy = self.retry_policy
+        if (
+            policy is not None
+            and not self._closed
+            and pending.attempts < policy.max_attempts
+        ):
+            # bounded retry under the *same* call number: the servers' reply
+            # caches turn the retransmission into a replay, not a re-run
+            pending.attempts += 1
+            self._retry_counter.inc()
+            delay = policy.delay(pending.attempts, self._backoff_rng)
+            pending.timer = self.sim.schedule(delay, self._retry_call, call_no)
+            return
+        del self._pending[call_no]
+        if pending in self._queued:
+            self._queued.remove(pending)
         self._timeout_counter.inc()
         self.service.unregister_pending(call_no)
         pending.future.try_fail(
             CommFailure(f"call #{call_no} ({pending.operation}) timed out")
         )
+
+    def _retry_call(self, call_no: int) -> None:
+        pending = self._pending.get(call_no)
+        if pending is None or self._closed:
+            return
+        pending.timer = self.sim.schedule(
+            pending.timeout, self._on_call_timeout, call_no
+        )
+        if self._bound:
+            self._transmit(pending)
+        elif pending not in self._queued:
+            # mid-rebind: the new binding will flush the queue on ready
+            self._queued.append(pending)
 
     # ------------------------------------------------------------------
     # reply paths
@@ -416,9 +457,11 @@ class GroupBinding:
         pending.future.try_resolve(InvocationResult(list(pending.replies.values())))
 
     def _closed_server_count(self) -> int:
+        # before the view forms, go by the advertised membership; afterwards
+        # the view is authoritative (it includes this client, hence the -1)
         if self._gc is None or self._gc.view is None:
             return len(self.servers)
-        return max(1, len(self._gc.view.members) - 1)
+        return len(self._gc.view.members) - 1
 
     # ------------------------------------------------------------------
     # view changes: failure masking (closed) and rebinding (open)
@@ -446,9 +489,25 @@ class GroupBinding:
         self._rebind(exclude=failed_manager)
 
     #: how many times a rebind retries an unreachable registry before the
-    #: binding is declared broken, and the delay between attempts
+    #: binding is declared broken, and the backoff envelope between attempts
+    #: (jittered so the clients a dead manager strands don't all hammer the
+    #: registry — and then the same surviving member — in lockstep)
     REBIND_ATTEMPTS = 10
-    REBIND_RETRY_DELAY = 0.5
+    REBIND_BASE_DELAY = 0.25
+    REBIND_BACKOFF_FACTOR = 2.0
+    REBIND_MAX_DELAY = 1.5
+    REBIND_JITTER = 0.5
+
+    def _rebind_delay(self, attempt: int) -> float:
+        """Jittered exponential backoff before rebind ``attempt`` (0-based)."""
+        return backoff_delay(
+            attempt + 1,
+            self.REBIND_BASE_DELAY,
+            self.REBIND_BACKOFF_FACTOR,
+            self.REBIND_MAX_DELAY,
+            self.REBIND_JITTER,
+            self._backoff_rng,
+        )
 
     def _rebind(self, exclude: Optional[str], attempt: int = 0) -> None:
         """Create a fresh client/server group around a surviving member."""
@@ -465,10 +524,10 @@ class GroupBinding:
                 return
             if fut.failed:
                 # the registry may be temporarily unreachable (e.g. we are
-                # on the wrong side of a partition): retry with a delay
+                # on the wrong side of a partition): retry with backoff
                 if attempt + 1 < self.REBIND_ATTEMPTS:
                     self.sim.schedule(
-                        self.REBIND_RETRY_DELAY, self._rebind, exclude, attempt + 1
+                        self._rebind_delay(attempt), self._rebind, exclude, attempt + 1
                     )
                 else:
                     self._fail_outstanding(BindingBroken("rebind lookup failed"))

@@ -11,7 +11,7 @@ from typing import Any, List, Tuple
 
 from repro.orb.marshal import corba_struct
 
-__all__ = ["InvokeMsg", "ReplyMsg", "ReplySet", "StateUpdate"]
+__all__ = ["InvokeMsg", "ReplyMsg", "ReplySet", "StateUpdate", "StateSnapshot"]
 
 
 @corba_struct
@@ -108,3 +108,28 @@ class StateUpdate:
         self.call_no = call_no
         self.state = state
         self.reply = reply
+
+
+@corba_struct
+class StateSnapshot:
+    """Coordinator -> joiner state transfer.
+
+    Carries the servant state *and* the coordinator's duplicate-suppression
+    caches, so a member that crashed and rejoined keeps masking retried
+    calls it (or its previous incarnation) already answered: exactly-once
+    semantics survive the restart.  ``servant_state`` may be ``None`` for
+    servants without transferable state — the caches still matter.
+    """
+
+    __slots__ = ("servant_state", "reply_sets", "own_replies")
+    _fields = __slots__
+
+    def __init__(
+        self,
+        servant_state: Any,
+        reply_sets: List[ReplySet],
+        own_replies: List[ReplyMsg],
+    ):
+        self.servant_state = servant_state
+        self.reply_sets = list(reply_sets)
+        self.own_replies = list(own_replies)

@@ -19,11 +19,13 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core.messages import InvokeMsg, ReplyMsg, ReplySet, StateUpdate
+from repro.core.messages import InvokeMsg, ReplyMsg, ReplySet, StateSnapshot, StateUpdate
 from repro.core.modes import Mode, ReplicationPolicy, replies_needed
 from repro.core.registry import client_sink_id, server_servant_id
+from repro.errors import GroupError
 from repro.groupcomm.config import GroupConfig
 from repro.orb.ior import IOR
+from repro.recovery.policy import backoff_delay
 from repro.sim.futures import Future
 
 __all__ = ["ObjectGroupServer", "EXECUTION_OVERHEAD", "REPLY_CACHE_SIZE"]
@@ -109,6 +111,13 @@ class ObjectGroupServer:
         self._dup_counter = obs.metrics.counter("server.duplicates_suppressed")
         self._cache_hit_counter = obs.metrics.counter("server.reply_cache_hits")
         self._g2g_dup_counter = obs.metrics.counter("server.g2g_duplicates")
+        self._rejoin_counter = obs.metrics.counter("server.rejoins")
+        self._rejoin_failed_counter = obs.metrics.counter("server.rejoin_failures")
+        self._rejoin_rng = self.sim.rng(f"recovery.rejoin.{self.member_id}")
+        self._restart_epoch = 0
+        #: the member an in-flight rejoin is joining through (recovery
+        #: tooling must not tear that contact down mid-join)
+        self._rejoin_contact: Optional[str] = None
         self._servant_ref = self.orb.register(
             _InvocationServant(self), object_id=server_servant_id(service_name)
         )
@@ -147,6 +156,160 @@ class ObjectGroupServer:
             session.leave()
         return self.group.leave()
 
+    # ------------------------------------------------------------------
+    # crash recovery: restart and rejoin
+    # ------------------------------------------------------------------
+    #: rejoin attempts (registry lookup + join) before the restart is
+    #: declared failed, and the backoff envelope between them
+    REJOIN_ATTEMPTS = 10
+    REJOIN_BASE_DELAY = 0.2
+    REJOIN_BACKOFF_FACTOR = 2.0
+    REJOIN_MAX_DELAY = 2.0
+    REJOIN_JITTER = 0.5
+    #: lookups that name no contact but us before we re-create the group
+    RECREATE_AFTER = 2
+
+    def restart(self) -> Future:
+        """Reconstruct this member's process state after a crash and rejoin.
+
+        Models a cold process restart on a recovered node: every session of
+        the dead incarnation is torn down locally (the survivors remove us
+        through suspicion — we were silent, not polite), all volatile
+        request state is dropped, and the member re-enters through the
+        registry-discovery/join/state-transfer path a fresh joiner would
+        use.  The reply caches survive the restart — they model a stable
+        local reply log, which is what makes exactly-once hold even when
+        *every* member restarts and no surviving coordinator can re-seed
+        them — and the coordinator's :class:`StateSnapshot` still merges
+        in whatever the group answered while we were down (local entries
+        take precedence).  In-flight request state (collectors, async
+        forwarding guards) is genuinely volatile and is dropped: a stale
+        in-flight marker would suppress a client retry without ever
+        producing a reply.  Resolves the returned future (also exposed
+        as ``self.ready``) once the rejoined view is installed.
+        """
+        if self.group is not None:
+            self.group.on_deliver = None
+            self.group.on_view = None
+            self.group._close()
+            self.group = None
+        for session in list(self._client_groups.values()):
+            session.on_deliver = None
+            session.on_view = None
+            session._close()
+        self._client_groups.clear()
+        self._client_group_styles.clear()
+        self._collectors.clear()
+        self._g2g_seen.clear()
+        self._async_handled.clear()
+        self._restart_epoch += 1
+        self._rejoin_contact = None
+        self.ready = Future(name=f"server-rejoin:{self.service_name}@{self.member_id}")
+        self._rejoin_attempt(0, self._restart_epoch)
+        return self.ready
+
+    def _rejoin_attempt(self, attempt: int, epoch: int) -> None:
+        if epoch != self._restart_epoch:
+            return  # a newer restart superseded this rejoin loop
+        if attempt >= self.REJOIN_ATTEMPTS:
+            self._rejoin_contact = None
+            self._rejoin_failed_counter.inc()
+            self.ready.try_fail(
+                GroupError(f"{self.member_id} could not rejoin {self.group_name}")
+            )
+            return
+        if self.service.registry is None:
+            self.ready.try_fail(GroupError("rejoin requires a registry"))
+            return
+        lookup = self.service.registry.lookup(self.service_name)
+        lookup.add_done_callback(lambda fut: self._on_rejoin_lookup(fut, attempt, epoch))
+
+    def _on_rejoin_lookup(self, fut: Future, attempt: int, epoch: int) -> None:
+        if epoch != self._restart_epoch:
+            return
+        if fut.failed:
+            self._schedule_rejoin_retry(attempt, epoch)
+            return
+        members = [
+            m
+            for m in self.service.registry.members_of(fut.result())
+            if m != self.member_id
+        ]
+        if not members:
+            # The registry's last advertisement names nobody but our own
+            # dead incarnation: we were the final coordinator before the
+            # restart, so no surviving member can answer a JoinReq and the
+            # entry will never refresh on its own.  After a couple of
+            # lookups (enough for a racing majority advertisement to land)
+            # re-create the group and advertise; divergent islands then
+            # reach us — or we reach them — through later registry updates.
+            if attempt >= self.RECREATE_AFTER:
+                self._recreate_group()
+                return
+            self._schedule_rejoin_retry(attempt, epoch)
+            return
+        contact = members[attempt % len(members)]
+        self._rejoin_contact = contact
+        session = self.service.gcs.join_group(self.group_name, contact)
+        self.group = session
+        self._wire_server_group()
+        # the contact may still carry our dead incarnation in its view (a
+        # crash shorter than the suspicion timeout): the JoinReq is ignored
+        # until suspicion removes us, so the timeout must outlast it
+        join_timeout = (
+            self.config.suspicion_timeout + 2 * self.config.flush_timeout + 0.5
+        )
+        timer = self.sim.schedule(
+            join_timeout, self._on_rejoin_timeout, session, attempt, epoch
+        )
+        session.joined.add_done_callback(
+            lambda f: self._on_rejoined(f, timer, attempt, epoch)
+        )
+
+    def _recreate_group(self) -> None:
+        self.group = self.service.gcs.create_group(self.group_name, self.config)
+        self._wire_server_group()
+        self._advertise()
+        self._rejoin_counter.inc()
+        self._tracer.event(
+            "server.recreated", member=self.member_id, group=self.group_name
+        )
+        self.ready.try_resolve(self)
+
+    def _on_rejoined(self, fut: Future, timer, attempt: int, epoch: int) -> None:
+        timer.cancel()
+        if epoch != self._restart_epoch:
+            return
+        if fut.failed:
+            if not self.ready.done:
+                self._schedule_rejoin_retry(attempt, epoch)
+            return
+        self._rejoin_contact = None
+        self._rejoin_counter.inc()
+        self._tracer.event("server.rejoined", member=self.member_id, group=self.group_name)
+        self.ready.try_resolve(self)
+
+    def _on_rejoin_timeout(self, session, attempt: int, epoch: int) -> None:
+        if epoch != self._restart_epoch:
+            return
+        if session.joined.done or self.group is not session:
+            return
+        session.on_deliver = None
+        session.on_view = None
+        session._close()  # fails session.joined, which schedules the retry
+        self.group = None
+
+    def _schedule_rejoin_retry(self, attempt: int, epoch: int) -> None:
+        delay = backoff_delay(
+            attempt + 1,
+            self.REJOIN_BASE_DELAY,
+            self.REJOIN_BACKOFF_FACTOR,
+            self.REJOIN_MAX_DELAY,
+            self.REJOIN_JITTER,
+            self._rejoin_rng,
+        )
+        self.sim.schedule(delay, self._rejoin_attempt, attempt + 1, epoch)
+
     @property
     def members(self) -> List[str]:
         return self.group.members if self.group else []
@@ -173,18 +336,36 @@ class ObjectGroupServer:
             self.service.registry.advertise(self.service_name, self.group.members)
 
     def _transfer_state_to(self, joiners) -> None:
-        get_state = getattr(self.servant, "get_state", None)
-        if get_state is None:
+        joiners = list(joiners)
+        if not joiners:
             return
-        state = get_state()
+        get_state = getattr(self.servant, "get_state", None)
+        state = get_state() if get_state is not None else None
+        if state is None and not self._reply_cache and not self._own_replies:
+            return
+        snapshot = StateSnapshot(
+            state, list(self._reply_cache.values()), list(self._own_replies.values())
+        )
         for joiner in joiners:
             target = IOR(joiner, "RootPOA", server_servant_id(self.service_name))
-            self.orb.invoke(target, "receive_state", (state,), oneway=True)
+            self.orb.invoke(target, "receive_state", (snapshot,), oneway=True)
 
-    def _receive_state(self, state: Any) -> None:
+    def _receive_state(self, snapshot: Any) -> None:
+        if not isinstance(snapshot, StateSnapshot):
+            # legacy callers hand over raw servant state
+            snapshot = StateSnapshot(snapshot, [], [])
         set_state = getattr(self.servant, "set_state", None)
-        if set_state is not None:
-            set_state(state)
+        if set_state is not None and snapshot.servant_state is not None:
+            set_state(snapshot.servant_state)
+        # re-seed duplicate suppression with what the group already answered;
+        # entries this member answered since (re)joining take precedence
+        for reply_set in snapshot.reply_sets:
+            self._reply_cache.setdefault(reply_set.call_id, reply_set)
+        while len(self._reply_cache) > REPLY_CACHE_SIZE:
+            self._reply_cache.popitem(last=False)
+        for reply in snapshot.own_replies:
+            self._own_replies.setdefault(reply.call_id, reply)
+        self._prune_own_replies()
 
     # ------------------------------------------------------------------
     # client/server group management
@@ -239,12 +420,22 @@ class ObjectGroupServer:
 
     # -- closed groups: every server got the request directly --------------
     def _handle_closed_request(self, invoke: InvokeMsg) -> None:
+        cached = self._own_replies.get(invoke.call_id)
+        if cached is not None:
+            # client-side retry re-multicast the call: replay, don't re-run
+            self._dup_counter.inc()
+            if invoke.mode != Mode.ONE_WAY:
+                self._reply_directly(invoke.client, cached)
+            return
         executes = self.policy == ReplicationPolicy.ACTIVE or self.is_primary
         if not executes:
             return  # passive backup: the primary's StateUpdate will follow
         self._execute(invoke, lambda reply: self._after_closed_execution(invoke, reply))
 
     def _after_closed_execution(self, invoke: InvokeMsg, reply: ReplyMsg) -> None:
+        if invoke.mode != Mode.ONE_WAY:
+            self._own_replies[invoke.call_id] = reply
+            self._prune_own_replies()
         if self.policy == ReplicationPolicy.PASSIVE:
             self._broadcast_state_update(invoke, reply)
         if invoke.mode != Mode.ONE_WAY:
@@ -265,6 +456,12 @@ class ObjectGroupServer:
                 "manager.reply_cache_hit", client=invoke.client, call_no=invoke.call_no
             )
             self._send_reply_set(group_name, cached)
+            return
+        if call_id in self._collectors or call_id in self._async_handled:
+            # a retried call still being collected (or answered locally with
+            # async forwarding): the ReplySet is on its way — forwarding
+            # again would re-run the servants
+            self._dup_counter.inc()
             return
         if invoke.mode == Mode.ONE_WAY:
             self._forward(invoke, Mode.ONE_WAY)
@@ -306,7 +503,7 @@ class ObjectGroupServer:
     def _finish_async_forwarded(
         self, group_name: str, invoke: InvokeMsg, reply: ReplyMsg
     ) -> None:
-        if self.policy == ReplicationPolicy.PASSIVE:
+        if self.policy == ReplicationPolicy.PASSIVE and self._group_open():
             self._broadcast_state_update(invoke, reply)
         reply_set = ReplySet(invoke.client, invoke.call_no, [reply])
         self._cache_reply(reply_set)
@@ -360,7 +557,7 @@ class ObjectGroupServer:
         if call_id in self._own_replies:
             # duplicate (e.g. re-forwarded after a manager failure): replay
             self._dup_counter.inc()
-            if invoke.mode != Mode.ONE_WAY:
+            if invoke.mode != Mode.ONE_WAY and self._group_open():
                 self.group.send(self._own_replies[call_id])
             return
         executes = self.policy == ReplicationPolicy.ACTIVE or self.is_primary
@@ -371,11 +568,22 @@ class ObjectGroupServer:
     def _after_forwarded_execution(self, invoke: InvokeMsg, reply: ReplyMsg) -> None:
         self._own_replies[invoke.call_id] = reply
         self._prune_own_replies()
+        if not self._group_open():
+            # removed from the view while the servant ran: nobody hears the
+            # multicast now, but the reply is logged above, so after a rejoin
+            # a re-forwarded duplicate replays it instead of re-executing
+            return
         if self.policy == ReplicationPolicy.PASSIVE:
             self._broadcast_state_update(invoke, reply)
         if invoke.mode != Mode.ONE_WAY:
             # §4.1 (iii): members multicast replies within the server group
             self.group.send(reply)
+
+    def _group_open(self) -> bool:
+        """Can we still multicast into the server group?  A member excluded
+        (or restarted) while a servant execution was in flight must drop the
+        send rather than raise out of the completion callback."""
+        return self.group is not None and self.group.state != "closed"
 
     def _collect_reply(self, reply: ReplyMsg) -> None:
         collector = self._collectors.get(reply.call_id)

@@ -32,6 +32,7 @@ from repro.groupcomm.config import (
 )
 from repro.groupcomm.service import GroupCommService
 from repro.groupcomm.session import GroupSession
+from repro.recovery.policy import RetryPolicy
 from repro.orb.ior import IOR
 from repro.orb.orb import ORB
 from repro.sim.futures import Future
@@ -135,6 +136,7 @@ class NewTopService:
         flush_timeout: float = 150e-3,
         liveliness_config: Optional[LivelinessConfig] = None,
         ordering_config: Optional[OrderingConfig] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> GroupBinding:
         """Bind to a replicated service.  Await ``binding.ready``."""
         return GroupBinding(
@@ -151,6 +153,7 @@ class NewTopService:
             flush_timeout=flush_timeout,
             liveliness_config=liveliness_config,
             ordering_config=ordering_config,
+            retry_policy=retry_policy,
         )
 
     def bind_group_to_group(

@@ -245,7 +245,12 @@ class MembershipEngine:
                 union.setdefault(msg.msg_id, msg)
             for value, sender, gseq in ok.tickets:
                 tickets.setdefault((sender, gseq), value)
-        new_view = GroupView(session.group, session.view.view_id + 1, self._proposed)
+        new_view = GroupView(
+            session.group,
+            session.view.view_id + 1,
+            self._proposed,
+            era=session.view.era,
+        )
         install = ViewInstall(
             session.group,
             new_view,

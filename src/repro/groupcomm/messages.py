@@ -60,12 +60,18 @@ class DataMsg:
     - ``frontier``: the sender's delivery frontier in the ordering
       protocol's own coordinates, piggybacked so peers can tell when the
       whole group is caught up (quiescence fallback).
+    - ``era``: the group incarnation id of the sender's view
+      (:attr:`~repro.groupcomm.views.GroupView.era`).  Channels outlive
+      group sessions across a member restart, so a frame from a dead
+      incarnation can surface in a re-created group whose view numbering
+      restarted — the era lets receivers drop it instead of aliasing it
+      into the identically-numbered new view.
     """
 
     __slots__ = (
         "group", "sender", "view_id", "gseq", "ts",
         "kind", "payload", "ticket", "vector", "acks",
-        "hb_period", "frontier",
+        "hb_period", "frontier", "era",
     )
     _fields = __slots__
 
@@ -83,6 +89,7 @@ class DataMsg:
         acks: Dict[str, int],
         hb_period: float = 0.0,
         frontier: Any = None,
+        era: str = "",
     ):
         self.group = group
         self.sender = sender
@@ -96,6 +103,7 @@ class DataMsg:
         self.acks = acks
         self.hb_period = hb_period
         self.frontier = frontier
+        self.era = era
 
     @property
     def msg_id(self) -> Tuple[int, str, int]:
@@ -114,7 +122,9 @@ class DataMsg:
 class TicketMsg:
     """Asymmetric ordering ticket: ``target`` message gets global ``ticket``."""
 
-    __slots__ = ("group", "sender", "view_id", "ticket", "target_sender", "target_gseq")
+    __slots__ = (
+        "group", "sender", "view_id", "ticket", "target_sender", "target_gseq", "era",
+    )
     _fields = __slots__
 
     def __init__(
@@ -125,6 +135,7 @@ class TicketMsg:
         ticket: int,
         target_sender: str,
         target_gseq: int,
+        era: str = "",
     ):
         self.group = group
         self.sender = sender
@@ -132,6 +143,7 @@ class TicketMsg:
         self.ticket = ticket
         self.target_sender = target_sender
         self.target_gseq = target_gseq
+        self.era = era
 
     def __repr__(self) -> str:
         return (
@@ -152,7 +164,7 @@ class TicketBatchMsg:
     for all its tickets).
     """
 
-    __slots__ = ("group", "sender", "view_id", "tickets")
+    __slots__ = ("group", "sender", "view_id", "tickets", "era")
     _fields = __slots__
 
     def __init__(
@@ -161,11 +173,13 @@ class TicketBatchMsg:
         sender: str,
         view_id: int,
         tickets: List[Tuple[int, str, int]],
+        era: str = "",
     ):
         self.group = group
         self.sender = sender
         self.view_id = view_id
         self.tickets = [tuple(entry) for entry in tickets]
+        self.era = era
 
     def __repr__(self) -> str:
         if self.tickets:

@@ -84,6 +84,7 @@ class GroupCommService:
         #: traffic the paper's tables report.
         self.traffic: Dict[str, int] = {}
         self._ticket_counter = 0
+        self._era_counter = 0
         self._metrics = orb.sim.obs.metrics
         self._kind_counters: Dict[str, Any] = {}
         self._nso_ref = orb.register(_NsoServant(self), object_id=NSO_OBJECT_ID)
@@ -100,7 +101,10 @@ class GroupCommService:
         """Create ``group`` with this member as its sole initial member."""
         if group in self.sessions:
             raise GroupError(f"{self.name} already participates in {group!r}")
-        view = GroupView(group, 1, [self.name])
+        # a fresh incarnation id: views of a re-created group must never
+        # alias the identically-numbered views of a dead incarnation
+        self._era_counter += 1
+        view = GroupView(group, 1, [self.name], era=f"{self.name}#{self._era_counter}")
         session = GroupSession(self, group, config or GroupConfig(), initial_view=view)
         self.sessions[group] = session
         return session

@@ -271,6 +271,7 @@ class GroupSession:
             self._current_acks(),
             self.detector.advertise_period(),
             self.ordering.frontier(),
+            era=self.view.era,
         )
         if kind == KIND_DATA:
             self.unstable[msg.msg_id] = msg
@@ -332,9 +333,17 @@ class GroupSession:
         if self.state == "closed":
             return
         self.service.clock.observe(msg.ts)
-        if self.state == "joining" or (
-            self.view is not None and msg.view_id > self.view.view_id
-        ):
+        if self.state == "joining":
+            # no view (hence no era) to judge against yet; the replay after
+            # our install applies the era check to everything buffered here
+            self._future_buffer.append((peer, msg))
+            return
+        if msg.era != self.view.era:
+            # a frame from another incarnation of the group: channels outlive
+            # sessions across restarts, so a dead incarnation's retransmitted
+            # frames can surface here with view ids that alias ours
+            return
+        if msg.view_id > self.view.view_id:
             self._future_buffer.append((peer, msg))
             return
         if msg.view_id < self.view.view_id or msg.sender not in self.view.members:
@@ -355,6 +364,8 @@ class GroupSession:
     def on_ticket(self, peer: str, msg: TicketMsg) -> None:
         if self.state == "closed" or self.view is None:
             return
+        if msg.era != self.view.era:
+            return  # ticket from another incarnation of the group
         if self.state == "joining" or msg.view_id > self.view.view_id:
             self._future_buffer.append((peer, msg))
             return
@@ -367,6 +378,8 @@ class GroupSession:
     def on_ticket_batch(self, peer: str, msg: TicketBatchMsg) -> None:
         if self.state == "closed" or self.view is None:
             return
+        if msg.era != self.view.era:
+            return  # tickets from another incarnation of the group
         if self.state == "joining" or msg.view_id > self.view.view_id:
             self._future_buffer.append((peer, msg))
             return
@@ -485,7 +498,15 @@ class GroupSession:
     def _emit_ticket(self, ticket: int, key: Tuple[str, int]) -> None:
         """Multicast one ticket assignment (the unbatched wire format)."""
         sender, gseq = key
-        msg = TicketMsg(self.group, self.member_id, self.view.view_id, ticket, sender, gseq)
+        msg = TicketMsg(
+            self.group,
+            self.member_id,
+            self.view.view_id,
+            ticket,
+            sender,
+            gseq,
+            era=self.view.era,
+        )
         tracer = self._tracer
         span = None
         if tracer.enabled:
@@ -509,6 +530,7 @@ class GroupSession:
             self.member_id,
             self.view.view_id,
             [(ticket, key[0], key[1]) for ticket, key in entries],
+            era=self.view.era,
         )
         tracer = self._tracer
         span = None

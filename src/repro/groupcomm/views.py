@@ -18,12 +18,19 @@ __all__ = ["GroupView"]
 
 @corba_struct
 class GroupView:
-    """An installed membership view: (group name, view number, members)."""
+    """An installed membership view: (group name, view number, members).
 
-    __slots__ = ("group", "view_id", "members")
-    _fields = ("group", "view_id", "members")
+    ``era`` is the group *incarnation* id, stamped once at
+    :meth:`~repro.groupcomm.service.GroupCommService.create_group` and
+    copied into every successor view.  A group that is re-created after a
+    total failure restarts view numbering at 1; the era keeps those views
+    from aliasing the dead incarnation's identically-numbered ones.
+    """
 
-    def __init__(self, group: str, view_id: int, members: List[str]):
+    __slots__ = ("group", "view_id", "members", "era")
+    _fields = ("group", "view_id", "members", "era")
+
+    def __init__(self, group: str, view_id: int, members: List[str], era: str = ""):
         if not members:
             raise ValueError("a view must contain at least one member")
         if len(set(members)) != len(members):
@@ -31,6 +38,7 @@ class GroupView:
         self.group = group
         self.view_id = view_id
         self.members = list(members)
+        self.era = era
 
     # ------------------------------------------------------------------
     # roles
@@ -71,7 +79,7 @@ class GroupView:
         for member in add or []:
             if member not in members:
                 members.append(member)
-        return GroupView(self.group, self.view_id + 1, members)
+        return GroupView(self.group, self.view_id + 1, members, era=self.era)
 
     def __eq__(self, other: object) -> bool:
         return (
@@ -79,10 +87,11 @@ class GroupView:
             and self.group == other.group
             and self.view_id == other.view_id
             and self.members == other.members
+            and self.era == other.era
         )
 
     def __hash__(self):
-        return hash((self.group, self.view_id, tuple(self.members)))
+        return hash((self.group, self.view_id, tuple(self.members), self.era))
 
     def __repr__(self) -> str:
         return f"GroupView({self.group}#{self.view_id} {self.members})"

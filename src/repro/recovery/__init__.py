@@ -1,0 +1,22 @@
+"""Crash-recovery and rejoin: member restart, retry policies, convergence.
+
+The paper's invocation layer masks failures while a group *shrinks*; this
+package closes the loop on the way back up.  :class:`RetryPolicy` paces
+client-side retries (and every other backoff loop in the stack),
+:class:`RecoveryManager` drives crashed members through
+``ObjectGroupServer.restart()`` and watches the group until
+:func:`convergence_status` says all live members share a view and a state
+digest again.
+"""
+
+from repro.recovery.convergence import convergence_status, state_digest
+from repro.recovery.manager import RecoveryManager
+from repro.recovery.policy import RetryPolicy, backoff_delay
+
+__all__ = [
+    "RetryPolicy",
+    "backoff_delay",
+    "RecoveryManager",
+    "convergence_status",
+    "state_digest",
+]

@@ -1,15 +1,22 @@
 """Declarative fault schedules executed against :mod:`repro.net`.
 
 A schedule is a timeline of fault events — ``crash``, ``recover``,
-``partition``, ``heal``, ``slow_node`` — applied at absolute offsets from
-traffic start.  The paper's failure cases (§4.2's manager crash, the
-partition behaviour of §3) were hand-run; a schedule makes them scripted,
-repeatable ingredients of a scenario.
+``restart``, ``partition``, ``heal``, ``slow_node`` — applied at absolute
+offsets from traffic start.  The paper's failure cases (§4.2's manager
+crash, the partition behaviour of §3) were hand-run; a schedule makes them
+scripted, repeatable ingredients of a scenario.
 
 Targets are node names (``"s0"``), or the symbolic target ``"manager"``
 which the runner resolves at fire time to the current request manager of
 the scenario's first binding — so "crash whoever is the manager right now"
 survives rebinding and restarts.
+
+``recover`` flips the node's power back on and nothing more (seed
+behaviour: a recovered member stays outside its old group).  ``restart``
+(or ``recover`` with ``"rejoin": true``) additionally hands the node to the
+scenario's :class:`~repro.recovery.manager.RecoveryManager`, which drives
+the member back into its server group; ``heal`` with ``"rejoin": true``
+does the same for minority-side members after a partition.
 """
 
 from __future__ import annotations
@@ -21,7 +28,7 @@ from repro.sim import Simulator
 
 __all__ = ["FaultEvent", "FaultSchedule", "FAULT_KINDS"]
 
-FAULT_KINDS = ("crash", "recover", "partition", "heal", "slow_node")
+FAULT_KINDS = ("crash", "recover", "restart", "partition", "heal", "slow_node")
 
 
 class FaultEvent:
@@ -29,16 +36,18 @@ class FaultEvent:
 
     Fields by kind:
 
-    - ``crash`` / ``recover`` — ``target`` (node name or ``"manager"``);
+    - ``crash`` / ``recover`` / ``restart`` — ``target`` (node name or
+      ``"manager"``); ``recover`` also accepts ``rejoin`` (bool);
     - ``partition`` — ``groups`` (list of node-name lists) *or* ``sites``
       (list of site-name lists); unlisted nodes form the final group;
-    - ``heal`` — no operands;
+    - ``heal`` — optional ``rejoin`` (bool): pull stranded members back
+      into the majority view after connectivity returns;
     - ``slow_node`` — ``target`` plus ``factor`` (CPU costs multiply by
       this; 1.0 restores full speed) and optional ``duration`` after which
       the node auto-restores.
     """
 
-    __slots__ = ("at", "kind", "target", "groups", "sites", "factor", "duration")
+    __slots__ = ("at", "kind", "target", "groups", "sites", "factor", "duration", "rejoin")
 
     def __init__(
         self,
@@ -49,12 +58,13 @@ class FaultEvent:
         sites: Optional[Sequence[Sequence[str]]] = None,
         factor: Optional[float] = None,
         duration: Optional[float] = None,
+        rejoin: bool = False,
     ):
         if at < 0:
             raise ValueError(f"fault time must be >= 0, got {at}")
         if kind not in FAULT_KINDS:
             raise ValueError(f"unknown fault kind {kind!r}; expected {FAULT_KINDS}")
-        if kind in ("crash", "recover", "slow_node") and not target:
+        if kind in ("crash", "recover", "restart", "slow_node") and not target:
             raise ValueError(f"fault {kind!r} requires a target")
         if kind == "partition" and (groups is None) == (sites is None):
             raise ValueError("partition requires exactly one of groups/sites")
@@ -63,6 +73,11 @@ class FaultEvent:
                 raise ValueError("slow_node requires factor > 0")
             if duration is not None and duration <= 0:
                 raise ValueError("slow_node duration must be > 0")
+        if rejoin and kind not in ("recover", "heal"):
+            raise ValueError(
+                f"rejoin applies to recover/heal, not {kind!r} "
+                "(restart always rejoins)"
+            )
         self.at = float(at)
         self.kind = kind
         self.target = target
@@ -70,10 +85,11 @@ class FaultEvent:
         self.sites = [list(g) for g in sites] if sites is not None else None
         self.factor = factor
         self.duration = duration
+        self.rejoin = bool(rejoin)
 
     @classmethod
     def from_dict(cls, spec: Dict) -> "FaultEvent":
-        allowed = {"at", "kind", "target", "groups", "sites", "factor", "duration"}
+        allowed = {"at", "kind", "target", "groups", "sites", "factor", "duration", "rejoin"}
         unknown = set(spec) - allowed
         if unknown:
             raise ValueError(f"fault spec has unknown keys {sorted(unknown)}")
@@ -93,6 +109,8 @@ class FaultEvent:
             out["factor"] = self.factor
         if self.duration is not None:
             out["duration"] = self.duration
+        if self.rejoin:
+            out["rejoin"] = True
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -107,6 +125,7 @@ class FaultSchedule:
         #: executed events: ``{"at": offset_from_install, "kind": ..., ...}``
         self.log: List[Dict] = []
         self._base = 0.0
+        self._metrics = None
 
     @classmethod
     def from_specs(cls, specs: Sequence[Dict]) -> "FaultSchedule":
@@ -117,18 +136,25 @@ class FaultSchedule:
         sim: Simulator,
         net: Network,
         resolve_target: Optional[Callable[[str], str]] = None,
+        recovery=None,
+        metrics=None,
     ) -> None:
         """Schedule every event relative to the current virtual time.
 
         ``resolve_target`` maps symbolic targets (``"manager"``) to node
-        names at fire time.
+        names at fire time.  ``recovery`` is an optional
+        :class:`~repro.recovery.manager.RecoveryManager` the ``restart`` /
+        ``rejoin`` faults are routed through (without one they degrade to
+        plain ``recover``).  ``metrics`` overrides the registry fault
+        counters land in (default: the simulator's); the one registry is
+        used for every fire *and* restore path.
         """
         self._base = sim.now
-        metrics = sim.obs.metrics
+        self._metrics = metrics if metrics is not None else sim.obs.metrics
         for event in self.events:
-            sim.schedule(event.at, self._fire, sim, net, event, resolve_target, metrics)
+            sim.schedule(event.at, self._fire, sim, net, event, resolve_target, recovery)
 
-    def _fire(self, sim, net, event: FaultEvent, resolve_target, metrics) -> None:
+    def _fire(self, sim, net, event: FaultEvent, resolve_target, recovery) -> None:
         target = event.target
         if target is not None and resolve_target is not None:
             target = resolve_target(target)
@@ -136,8 +162,13 @@ class FaultSchedule:
         if event.kind == "crash":
             net.crash(target)
             entry["target"] = target
-        elif event.kind == "recover":
-            net.recover(target)
+        elif event.kind in ("recover", "restart"):
+            rejoins = event.kind == "restart" or event.rejoin
+            if rejoins and recovery is not None:
+                recovery.restart_member(target)
+                entry["rejoin"] = True
+            else:
+                net.recover(target)
             entry["target"] = target
         elif event.kind == "partition":
             if event.sites is not None:
@@ -148,6 +179,9 @@ class FaultSchedule:
                 entry["groups"] = event.groups
         elif event.kind == "heal":
             net.heal()
+            if event.rejoin and recovery is not None:
+                recovery.after_heal()
+                entry["rejoin"] = True
         elif event.kind == "slow_node":
             net.slow_node(target, event.factor)
             entry["target"] = target
@@ -155,12 +189,12 @@ class FaultSchedule:
             if event.duration is not None:
                 entry["duration"] = event.duration
                 sim.schedule(event.duration, self._restore, sim, net, target)
-        metrics.counter(f"scenario.fault.{event.kind}").inc()
+        self._metrics.counter(f"scenario.fault.{event.kind}").inc()
         self.log.append(entry)
 
     def _restore(self, sim, net, target: str) -> None:
         net.slow_node(target, 1.0)
-        sim.obs.metrics.counter("scenario.fault.slow_node_restored").inc()
+        self._metrics.counter("scenario.fault.slow_node_restored").inc()
         self.log.append(
             {"at": sim.now - self._base, "kind": "slow_node_restored", "target": target}
         )

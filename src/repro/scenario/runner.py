@@ -22,6 +22,7 @@ from repro.apps.chat import make_peer_config
 from repro.apps.randserver import RandomNumberServant
 from repro.core.modes import BindingStyle
 from repro.groupcomm.config import GroupConfig, Liveliness
+from repro.recovery import RecoveryManager, convergence_status
 from repro.scenario.arrivals import arrival_process_from_spec
 from repro.scenario.faults import FaultSchedule
 from repro.scenario.slo import SloContext, build_slos, evaluate_slos
@@ -31,9 +32,14 @@ from repro.sim import Future, with_timeout
 
 __all__ = ["run_scenario", "ScenarioError", "REPORT_VERSION"]
 
-REPORT_VERSION = 1
+REPORT_VERSION = 2
 
 SERVICE_NAME = "svc"
+
+#: extra virtual time after the drain for request_reply runs: lets in-flight
+#: server-side tails (reply multicasts, state transfers, the recovery
+#: manager's convergence watch) settle before the final convergence check
+CONVERGENCE_GRACE = 2.0
 
 
 class ScenarioError(RuntimeError):
@@ -54,11 +60,13 @@ def run_scenario(source, obs=None) -> Dict:
 
     if spec.traffic.workload == "peer":
         issuers, resolve_target = _setup_peer(env, spec)
+        recovery = None  # peer groups have no server-side state to restore
     else:
         issuers, resolve_target = _setup_request_reply(env, spec)
+        recovery = RecoveryManager(sim, env.net, env.services, SERVICE_NAME)
 
     schedule = FaultSchedule(spec.faults)
-    schedule.install(sim, env.net, resolve_target)
+    schedule.install(sim, env.net, resolve_target, recovery=recovery)
 
     process = arrival_process_from_spec(spec.traffic.arrivals)
     churn = spec.traffic.churn
@@ -87,6 +95,14 @@ def run_scenario(source, obs=None) -> Dict:
         run_until_done(sim, [generator.finished], deadline=deadline)
     except RuntimeError:
         drained = False  # lost in-flight requests: the accounting SLO fails
+
+    convergence = None
+    if recovery is not None:
+        sim.run(until=sim.now + CONVERGENCE_GRACE)
+        convergence = convergence_status(env.services, SERVICE_NAME, env.net)
+        sim.obs.metrics.counter("scenario.convergence.checks").inc()
+        if not convergence["converged"]:
+            sim.obs.metrics.counter("scenario.convergence.failures").inc()
 
     snapshot = sim.obs.metrics_snapshot()
     ctx = SloContext(sim.obs.metrics, generator.stats, snapshot)
@@ -119,17 +135,18 @@ def run_scenario(source, obs=None) -> Dict:
             "population": population.describe(),
         },
         "faults": schedule.log,
+        "recovery": convergence,
         "slos": verdicts,
         "metrics": {
             "counters": {
                 name: value
                 for name, value in counters.items()
                 if name.split(".", 1)[0]
-                in ("gc", "net", "client", "server", "scenario")
+                in ("gc", "net", "client", "server", "scenario", "recovery")
             },
             "histograms": {
                 name: snapshot["histograms"][name]
-                for name in ("scenario.latency", "node.cpu_queue_delay")
+                for name in ("scenario.latency", "node.cpu_queue_delay", "recovery.time")
                 if name in snapshot.get("histograms", {})
             },
         },
@@ -170,6 +187,7 @@ def _setup_request_reply(env: Environment, spec: ScenarioSpec):
         async_forwarding=group.async_forwarding,
     )
     clients = env.add_clients(traffic.bindings)
+    retry_policy = group.build_retry_policy()
     bindings = []
     for service in clients:
         bindings.append(
@@ -181,6 +199,7 @@ def _setup_request_reply(env: Environment, spec: ScenarioSpec):
                 restricted=group.restricted,
                 suspicion_timeout=group.suspicion_timeout,
                 flush_timeout=group.flush_timeout,
+                retry_policy=retry_policy,
             )
         )
         env.run(0.05)

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.modes import BindingStyle, Mode, ReplicationPolicy
 from repro.groupcomm.config import Liveliness, LivelinessConfig, Ordering, OrderingConfig
+from repro.recovery.policy import RetryPolicy
 from repro.scenario.arrivals import arrival_process_from_spec
 from repro.scenario.faults import FaultEvent
 from repro.scenario.slo import build_slos
@@ -57,11 +58,12 @@ class GroupSpec:
     silence_period: float = 50e-3
     liveliness_config: Dict = field(default_factory=dict)
     ordering_config: Dict = field(default_factory=dict)
+    retry: Dict = field(default_factory=dict)
 
     _FIELDS = (
         "replicas", "style", "ordering", "restricted", "async_forwarding",
         "policy", "liveliness", "suspicion_timeout", "flush_timeout",
-        "silence_period", "liveliness_config", "ordering_config",
+        "silence_period", "liveliness_config", "ordering_config", "retry",
     )
 
     def __post_init__(self):
@@ -73,6 +75,7 @@ class GroupSpec:
         _check_choice("group", "liveliness", self.liveliness, Liveliness.ALL)
         self.build_liveliness_config()  # validate eagerly
         self.build_ordering_config()
+        self.build_retry_policy()
 
     def build_liveliness_config(self) -> LivelinessConfig:
         """The group's quiescence tuning (empty dict = library defaults)."""
@@ -91,6 +94,17 @@ class GroupSpec:
             return OrderingConfig(**self.ordering_config)
         except (TypeError, ValueError) as exc:
             raise ValueError(f"group.ordering_config: {exc}") from exc
+
+    def build_retry_policy(self) -> Optional[RetryPolicy]:
+        """Client per-call retry/backoff (empty dict = off, seed behaviour)."""
+        if not isinstance(self.retry, dict):
+            raise ValueError("group.retry must be an object")
+        if not self.retry:
+            return None
+        try:
+            return RetryPolicy.from_dict(self.retry)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"group.retry: {exc}") from exc
 
     @classmethod
     def from_dict(cls, data: Dict) -> "GroupSpec":

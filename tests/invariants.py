@@ -4,15 +4,20 @@
 class-wide for the duration of a ``with`` block, logging every member's
 protocol-visible events in order:
 
-- ``("send", view_id, sender, gseq)`` — a data multicast leaving the member
-  (recorded before the send executes, so it sits after everything the
-  member had delivered at that point: the causal capture);
-- ``("deliver", view_id, sender, gseq)`` — a data message clearing
+- ``("send", (era, view_id), sender, gseq)`` — a data multicast leaving
+  the member (recorded before the send executes, so it sits after
+  everything the member had delivered at that point: the causal capture);
+- ``("deliver", (era, view_id), sender, gseq)`` — a data message clearing
   group-level ordering at the member (recorded synchronously at the
   protocol decision, before the asynchronous application upcall, and
   attributed to the view the message was *sent* in);
-- ``("view", view_id, members)`` — a view install completing (including
-  the creator's initial view).
+- ``("view", (era, view_id), members)`` — a view install completing
+  (including the creator's initial view).
+
+View ids are era-qualified throughout: a group re-created after a total
+failure restarts numbering at 1, and the group incarnation id
+(:attr:`~repro.groupcomm.views.GroupView.era`) keeps its views from
+aliasing the dead incarnation's identically-numbered ones.
 
 ``check_invariants()`` replays the logs and returns human-readable
 violation strings (empty list = all good) for the four properties the
@@ -31,6 +36,13 @@ reproduction exists to demonstrate:
 Members that crash mid-run may legitimately diverge in their final
 instants (the protocols are non-uniform: agreement binds the members that
 survive into the next view), so pass their ids via ``exclude``.
+
+For crash-*recovery* runs two more tools apply: ``record_executions()``
+logs every servant execution keyed by member incarnation (a restart bumps
+the incarnation, since a restarted member may legitimately re-execute a
+call only its dead incarnation saw), and ``check_exactly_once`` /
+``check_convergence`` verify at-most-once execution per ``(client,
+call_no)`` within an incarnation and post-recovery group convergence.
 """
 
 from __future__ import annotations
@@ -41,9 +53,19 @@ from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
 from repro.groupcomm.messages import KIND_DATA
 from repro.groupcomm.session import GroupSession
 
-__all__ = ["ProtocolRecord", "record_protocol", "check_invariants"]
+__all__ = [
+    "ProtocolRecord",
+    "record_protocol",
+    "check_invariants",
+    "record_executions",
+    "check_exactly_once",
+    "check_convergence",
+]
 
-MsgId = Tuple[int, str, int]  # (view_id, sender, gseq)
+# ((era, view_id), sender, gseq) — the view id is qualified by the group
+# incarnation era so a re-created group's view 3 never aliases the dead
+# incarnation's view 3 (both can exist in one recovery run)
+MsgId = Tuple[tuple, str, int]
 
 
 class ProtocolRecord:
@@ -82,27 +104,33 @@ def record_protocol():
         orig_init(self, service, group, config, initial_view=initial_view)
         if initial_view is not None:
             record.log(group, self.member_id).append(
-                ("view", initial_view.view_id, tuple(initial_view.members))
+                ("view", (initial_view.era, initial_view.view_id),
+                 tuple(initial_view.members))
             )
 
     def patched_do_send(self, payload, kind):
         if kind == KIND_DATA and self.view is not None:
             record.log(self.group, self.member_id).append(
-                ("send", self.view.view_id, self.member_id, self._gseq_next)
+                ("send", (self.view.era, self.view.view_id),
+                 self.member_id, self._gseq_next)
             )
         orig_do_send(self, payload, kind)
 
     def patched_deliver(self, msg):
         if not msg.is_null:
+            # (msg.era, msg.view_id) is the view the message was *sent* in —
+            # the frame carries its own incarnation id, and sessions reject
+            # cross-era frames, so this always matches the delivering view
             record.log(self.group, self.member_id).append(
-                ("deliver", msg.view_id, msg.sender, msg.gseq)
+                ("deliver", (msg.era, msg.view_id), msg.sender, msg.gseq)
             )
         orig_deliver(self, msg)
 
     def patched_apply(self, install):
         orig_apply(self, install)
         record.log(self.group, self.member_id).append(
-            ("view", install.view.view_id, tuple(install.view.members))
+            ("view", (install.view.era, install.view.view_id),
+             tuple(install.view.members))
         )
 
     GroupSession.__init__ = patched_init
@@ -116,6 +144,80 @@ def record_protocol():
         GroupSession._do_send = orig_do_send
         GroupSession._deliver_app = orig_deliver
         GroupSession.apply_view_install = orig_apply
+
+
+ExecutionId = Tuple[str, int, str, int]  # (member, incarnation, client, call_no)
+
+
+@contextmanager
+def record_executions():
+    """Record every servant execution as (member, incarnation, client, call_no).
+
+    A :meth:`~repro.core.server.ObjectGroupServer.restart` bumps the
+    member's incarnation: the restarted process holds only the reply
+    caches the coordinator transferred back, so it may legitimately
+    re-execute a call that only its dead incarnation saw.  Exactly-once is
+    therefore checked *within* an incarnation.
+    """
+    from repro.core.server import ObjectGroupServer
+
+    executions: List[ExecutionId] = []
+    incarnations: Dict[str, int] = {}
+    orig_run = ObjectGroupServer._run_servant
+    orig_restart = ObjectGroupServer.restart
+
+    def patched_run(self, invoke, done):
+        executions.append(
+            (self.member_id, incarnations.get(self.member_id, 0),
+             invoke.client, invoke.call_no)
+        )
+        orig_run(self, invoke, done)
+
+    def patched_restart(self):
+        incarnations[self.member_id] = incarnations.get(self.member_id, 0) + 1
+        return orig_restart(self)
+
+    ObjectGroupServer._run_servant = patched_run
+    ObjectGroupServer.restart = patched_restart
+    try:
+        yield executions
+    finally:
+        ObjectGroupServer._run_servant = orig_run
+        ObjectGroupServer.restart = orig_restart
+
+
+def check_exactly_once(executions: List[ExecutionId]) -> List[str]:
+    """No (client, call_no) executes twice on one member incarnation.
+
+    Retries, rebinds, and rejoins are all in play when this is checked;
+    the reply caches (and their transfer in the rejoin state snapshot) are
+    what make the property hold.
+    """
+    violations = []
+    counts: Dict[ExecutionId, int] = {}
+    for key in executions:
+        counts[key] = counts.get(key, 0) + 1
+    for (member, incarnation, client, call_no), count in sorted(counts.items()):
+        if count > 1:
+            violations.append(
+                f"exactly-once: {member}/incarnation {incarnation} executed "
+                f"call ({client}, {call_no}) {count} times"
+            )
+    return violations
+
+
+def check_convergence(services, service_name: str, net) -> List[str]:
+    """Post-recovery convergence: every live member back in one view with
+    identical state digests (empty = converged)."""
+    from repro.recovery import convergence_status
+
+    status = convergence_status(services, service_name, net)
+    if status["converged"]:
+        return []
+    return [
+        f"convergence: {status['detail']} "
+        f"(views={status['views']}, digests={status['digests']})"
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -225,14 +327,21 @@ def _check_virtual_synchrony(
     orders: Dict[str, List[MsgId]],
 ) -> List[str]:
     violations = []
-    # views each member closed: installed AND followed by a successor view
-    closed: Dict[int, List[str]] = {}
+    # Views each member closed: installed AND followed by a successor view.
+    # The key carries the *full* transition — (view_id, members) on both
+    # ends — because after a partition (or a crashed node whose timers keep
+    # installing garbage solo views while it is down) the same view_id can
+    # be closed toward different successors on the two sides, and the
+    # non-uniform agreement only binds members that moved *together*.
+    closed: Dict[tuple, List[str]] = {}
     for member in members:
         views = [e for e in record.events.get((group, member), []) if e[0] == "view"]
-        for event, _successor in zip(views, views[1:]):
-            if member in event[2]:
-                closed.setdefault(event[1], []).append(member)
-    for view_id, closers in sorted(closed.items()):
+        for event, successor in zip(views, views[1:]):
+            if member in event[2] and member in successor[2]:
+                key = (event[1], event[2], successor[1], successor[2])
+                closed.setdefault(key, []).append(member)
+    for key, closers in sorted(closed.items()):
+        view_id = key[0]
         if len(closers) < 2:
             continue
         sets: Dict[str, Set[MsgId]] = {

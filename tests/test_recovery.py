@@ -1,0 +1,280 @@
+"""Crash-recovery and rejoin: restart protocol, retry/backoff, caches.
+
+The seed treated a crash as permanent: a recovered node stayed outside its
+old group and a timed-out call stayed failed.  These tests pin down the
+recovery subsystem end to end — member restart with state re-transfer
+(including the reply caches, so duplicate suppression survives a restart),
+the client's per-call retry policy, the jittered rebind backoff, and the
+convergence verdict the scenario runner reports.
+"""
+
+import pytest
+
+from repro.core import BindingStyle, Mode
+from repro.core.messages import InvokeMsg
+from repro.errors import CommFailure
+from repro.groupcomm import GroupConfig, Liveliness, Ordering
+from repro.recovery import (
+    RecoveryManager,
+    RetryPolicy,
+    backoff_delay,
+    convergence_status,
+)
+from repro.sim import run_process
+from tests.core_helpers import AppCluster, Counter
+
+FAST = GroupConfig(
+    ordering=Ordering.ASYMMETRIC,
+    liveliness=Liveliness.LIVELY,
+    silence_period=20e-3,
+    suspicion_timeout=100e-3,
+    flush_timeout=150e-3,
+)
+
+
+def fast_binding(cluster, client=0, **kwargs):
+    kwargs.setdefault("liveliness", Liveliness.LIVELY)
+    kwargs.setdefault("suspicion_timeout", 100e-3)
+    binding = cluster.client(client).bind("svc", **kwargs)
+    cluster.run(1.0)
+    assert binding.ready.done
+    return binding
+
+
+def warm_up(cluster, binding, amount=1):
+    def warm():
+        yield binding.invoke("incr", (amount,), mode=Mode.ALL)
+
+    run_process(cluster.sim, warm(), until=cluster.sim.now + 3.0)
+
+
+# ---------------------------------------------------------------------------
+# backoff / retry policy units
+# ---------------------------------------------------------------------------
+def test_backoff_delay_envelope_cap_and_jitter():
+    import random
+
+    rng = random.Random(7)
+    for attempt in range(1, 10):
+        envelope = min(2.0, 0.1 * 2.0 ** (attempt - 1))
+        for _ in range(50):
+            delay = backoff_delay(attempt, 0.1, 2.0, 2.0, 0.5, rng)
+            assert envelope * 0.75 - 1e-12 <= delay <= envelope * 1.25 + 1e-12
+    # jitter actually spreads (not a fixed point)
+    samples = {backoff_delay(3, 0.1, 2.0, 2.0, 0.5, rng) for _ in range(20)}
+    assert len(samples) > 1
+    # zero jitter is deterministic
+    assert backoff_delay(4, 0.1, 2.0, 2.0, 0.0, rng) == pytest.approx(0.8)
+    with pytest.raises(ValueError):
+        backoff_delay(0, 0.1, 2.0, 2.0, 0.5, rng)
+
+
+def test_retry_policy_validation_and_roundtrip():
+    assert not RetryPolicy().enabled  # default off = seed behaviour
+    policy = RetryPolicy.from_dict({"max_attempts": 3, "base_delay": 0.05})
+    assert policy.enabled and policy.max_attempts == 3
+    assert RetryPolicy.from_dict(policy.to_dict()) == policy
+    with pytest.raises((TypeError, ValueError)):
+        RetryPolicy.from_dict({"max_attempts": 3, "bogus": 1})
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=-1)
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=2, jitter=1.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=2, base_delay=1.0, max_delay=0.5)
+
+
+def test_rebind_backoff_grows_with_attempts():
+    """Satellite: the fixed rebind delay became a jittered exponential."""
+    c = AppCluster(servers=2, clients=1)
+    c.serve_all("svc", Counter, config=FAST)
+    binding = fast_binding(c, style=BindingStyle.OPEN)
+    envelopes = []
+    for attempt in range(5):
+        envelope = min(1.5, 0.25 * 2.0 ** attempt)
+        envelopes.append(envelope)
+        for _ in range(20):
+            delay = binding._rebind_delay(attempt)
+            assert envelope * 0.75 - 1e-12 <= delay <= envelope * 1.25 + 1e-12
+    assert envelopes == sorted(envelopes)  # the envelope itself is monotone
+
+
+def test_closed_server_count_tracks_view():
+    """Satellite: the pre-view path answers from the advertised membership,
+    the post-view path from the (authoritative) installed view."""
+    c = AppCluster(servers=3, clients=1)
+    c.serve_all("svc", Counter, config=FAST)
+    binding = fast_binding(c, style=BindingStyle.CLOSED)
+    assert binding._closed_server_count() == 3  # view minus this client
+    gc = binding._gc
+    binding._gc = None  # pre-view: fall back to the registry's answer
+    try:
+        assert binding._closed_server_count() == len(binding.servers)
+    finally:
+        binding._gc = gc
+
+
+# ---------------------------------------------------------------------------
+# restart / rejoin
+# ---------------------------------------------------------------------------
+def test_plain_recover_leaves_group_shrunk():
+    """Seed behaviour, kept as the contrast: power-on alone does not rejoin."""
+    c = AppCluster(servers=3, clients=1)
+    c.serve_all("svc", Counter, config=FAST)
+    binding = fast_binding(c, style=BindingStyle.OPEN)
+    warm_up(c, binding)
+    c.net.crash("s1")
+    c.run(2.0)
+    c.net.recover("s1")
+    c.run(4.0)
+    status = convergence_status(c.services, "svc", c.net)
+    assert not status["converged"]
+    assert "s1" in status["live"] and "s1" not in (status["view"] or [])
+
+
+def test_restart_rejoins_with_identical_state():
+    c = AppCluster(servers=3, clients=1)
+    servers = c.serve_all("svc", Counter, config=FAST)
+    binding = fast_binding(c, style=BindingStyle.OPEN)
+    warm_up(c, binding)
+    c.net.crash("s1")
+    c.run(2.0)
+    warm_up(c, binding)  # state moves on while s1 is down
+    c.net.recover("s1")
+    servers[1].restart()
+    c.run(6.0)
+    status = convergence_status(c.services, "svc", c.net)
+    assert status["converged"], status
+    assert sorted(status["view"]) == ["s0", "s1", "s2"]
+    assert servers[1].servant.value == 2  # state transfer caught it up
+    assert len(set(status["digests"].values())) == 1
+    assert c.sim.obs.metrics.counter_value("server.rejoins") == 1
+
+
+def test_recovery_manager_records_recovery_time():
+    c = AppCluster(servers=3, clients=1)
+    c.serve_all("svc", Counter, config=FAST)
+    binding = fast_binding(c, style=BindingStyle.OPEN)
+    warm_up(c, binding)
+    recovery = RecoveryManager(c.sim, c.net, c.services, "svc")
+    c.net.crash("s1")
+    c.run(2.0)
+    recovery.restart_member("s1")
+    c.run(6.0)
+    assert convergence_status(c.services, "svc", c.net)["converged"]
+    assert c.sim.obs.metrics.counter_value("recovery.converged") == 1
+    assert c.sim.obs.metrics.counter_value("recovery.restarts") >= 1
+    snapshot = c.sim.obs.metrics_snapshot()
+    hist = snapshot["histograms"].get("recovery.time")
+    assert hist and hist["count"] >= 1
+
+
+def test_heal_with_rejoin_pulls_minority_back():
+    c = AppCluster(servers=3, clients=1)
+    c.serve_all("svc", Counter, config=FAST)
+    binding = fast_binding(c, style=BindingStyle.OPEN)
+    warm_up(c, binding)
+    recovery = RecoveryManager(c.sim, c.net, c.services, "svc")
+    c.net.partition({"s2"})
+    c.run(2.0)
+    c.net.heal()
+    recovery.after_heal()
+    c.run(8.0)
+    status = convergence_status(c.services, "svc", c.net)
+    assert status["converged"], status
+    assert sorted(status["view"]) == ["s0", "s1", "s2"]
+
+
+def test_duplicate_suppression_survives_restart():
+    """The rejoin state snapshot carries the reply caches: replaying an old
+    call after the restart must not re-execute anywhere."""
+    c = AppCluster(servers=3, clients=1)
+    servers = c.serve_all("svc", Counter, config=FAST)
+    binding = fast_binding(c, style=BindingStyle.OPEN)
+    warm_up(c, binding)
+    c.net.crash("s1")
+    c.run(2.0)
+    c.net.recover("s1")
+    servers[1].restart()
+    c.run(6.0)
+    assert convergence_status(c.services, "svc", c.net)["converged"]
+    assert servers[1]._reply_cache, "snapshot must carry the reply cache"
+    # replay call_no 1 (the warm-up call) through the client group, as a
+    # lost-reply retry would
+    gc = c.client(0).gcs.session(binding.group_name)
+    gc.send(InvokeMsg("c0", 1, "incr", (1,), Mode.ALL, False, ""))
+    c.run(2.0)
+    assert [s.servant.value for s in servers] == [1, 1, 1]
+
+
+# ---------------------------------------------------------------------------
+# client-side retry policy
+# ---------------------------------------------------------------------------
+RETRY = RetryPolicy(max_attempts=6, base_delay=0.1, factor=2.0, max_delay=1.0)
+
+
+def crash_manager_under_call(retry_policy):
+    """Manager crashes right after the call leaves; the call's own timeout
+    (0.15 s) is far shorter than rebind, so only retries can save it."""
+    c = AppCluster(servers=3, clients=1)
+    servers = c.serve_all("svc", Counter, config=FAST)
+    binding = fast_binding(
+        c, style=BindingStyle.OPEN, restricted=True, retry_policy=retry_policy
+    )
+    warm_up(c, binding)
+    fut = binding.invoke("incr", (1,), mode=Mode.MAJORITY, timeout=0.15)
+    c.sim.schedule(1e-4, c.net.crash, "s0")
+    c.run(8.0)
+    return c, servers, fut
+
+
+def test_retry_policy_bridges_manager_crash():
+    c, servers, fut = crash_manager_under_call(RETRY)
+    assert fut.done and not fut.failed
+    assert c.sim.obs.metrics.counter_value("client.retries") >= 1
+    assert c.sim.obs.metrics.counter_value("client.timeouts") == 0
+    # retried under the same call number: no double execution at survivors
+    assert servers[1].servant.value == 2
+    assert servers[2].servant.value == 2
+
+
+def test_without_retry_policy_the_same_call_fails():
+    """Seed contrast for the retry satellite: same fault, no policy."""
+    c, servers, fut = crash_manager_under_call(None)
+    assert fut.failed
+    with pytest.raises(CommFailure):
+        fut.result()
+    assert c.sim.obs.metrics.counter_value("client.timeouts") == 1
+    assert c.sim.obs.metrics.counter_value("client.retries") == 0
+
+
+# ---------------------------------------------------------------------------
+# reply-cache eviction (documented miss behaviour)
+# ---------------------------------------------------------------------------
+def test_reply_cache_eviction_bounds_suppression(monkeypatch):
+    """Within capacity a replay is answered from cache; once the entry is
+    evicted the member re-executes.  That miss is the documented trade-off:
+    the cache bounds memory, so exactly-once holds only within its window
+    (safe here because active replicas execute deterministically)."""
+    monkeypatch.setattr("repro.core.server.REPLY_CACHE_SIZE", 2)
+    c = AppCluster(servers=2, clients=1)
+    servers = c.serve_all("svc", Counter, config=FAST)
+    binding = fast_binding(c, style=BindingStyle.OPEN)
+
+    def traffic():
+        for _ in range(4):
+            yield binding.invoke("incr", (1,), mode=Mode.ALL)
+
+    run_process(c.sim, traffic(), until=c.sim.now + 4.0)
+    assert servers[0].servant.value == 4
+    gc = c.client(0).gcs.session(binding.group_name)
+    hits_before = c.sim.obs.metrics.counter_value("server.reply_cache_hits")
+    # call 4 is still cached: suppressed
+    gc.send(InvokeMsg("c0", 4, "incr", (1,), Mode.ALL, False, ""))
+    c.run(1.0)
+    assert servers[0].servant.value == 4
+    assert c.sim.obs.metrics.counter_value("server.reply_cache_hits") > hits_before
+    # call 1 was evicted (cache holds 2 entries): re-executed
+    gc.send(InvokeMsg("c0", 1, "incr", (1,), Mode.ALL, False, ""))
+    c.run(1.0)
+    assert servers[0].servant.value == 5

@@ -8,6 +8,8 @@ Observability flags (see docs/OBSERVABILITY.md):
 - ``--trace [PATH]`` records a causal span trace of every simulation the
   experiment runs — one connected tree per client invocation, stamped with
   virtual time — and writes it as JSONL (default ``trace.jsonl``).
+- ``--trace-sample RATE`` head-samples traces at RATE in [0, 1] with the
+  deterministic systematic sampler (implies ``--trace``).
 - ``--metrics`` prints the merged metrics snapshot (counters, gauges,
   latency/queue histograms) and the per-kind traffic reconciliation.
 """
@@ -148,11 +150,24 @@ def main(argv=None) -> int:
         "(default trace.jsonl)",
     )
     parser.add_argument(
+        "--trace-sample",
+        type=float,
+        metavar="RATE",
+        default=None,
+        help="head-sample traces at RATE in [0, 1] (implies tracing; e.g. "
+        "0.01 records every 100th invocation)",
+    )
+    parser.add_argument(
         "--metrics",
         action="store_true",
         help="print the merged metrics snapshot and traffic reconciliation",
     )
     args = parser.parse_args(argv)
+    if args.trace_sample is not None:
+        if not 0.0 <= args.trace_sample <= 1.0:
+            parser.error(f"--trace-sample must be in [0, 1], got {args.trace_sample}")
+        if args.trace is None:
+            args.trace = "trace.jsonl"
 
     if args.list or not args.experiment:
         print("experiments:")
@@ -174,7 +189,11 @@ def main(argv=None) -> int:
         # every Simulator the experiment builds registers with the sink, so
         # workload code needs no changes to be traced
         sink = TraceSink()
-        configure(trace=args.trace is not None, sink=sink)
+        configure(
+            trace=args.trace is not None,
+            sink=sink,
+            sample_rate=args.trace_sample,
+        )
     fn, _description = EXPERIMENTS[args.experiment]
     try:
         fn(args)

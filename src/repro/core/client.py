@@ -30,6 +30,7 @@ from repro.groupcomm.config import (
     Ordering,
     OrderingConfig,
 )
+from repro.obs.phases import PHASE_NAMES
 from repro.orb.ior import IOR
 from repro.recovery.policy import RetryPolicy, backoff_delay
 from repro.sim.futures import Future
@@ -117,9 +118,12 @@ class GroupBinding:
         liveliness_config: Optional[LivelinessConfig] = None,
         ordering_config: Optional[OrderingConfig] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        trace_sample: Optional[float] = None,
     ):
         if style not in BindingStyle.ALL_STYLES:
             raise ValueError(f"unknown binding style {style!r}")
+        if trace_sample is not None and not 0.0 <= trace_sample <= 1.0:
+            raise ValueError(f"trace_sample must be in [0, 1], got {trace_sample}")
         self.service = service
         self.sim = service.sim
         self.orb = service.orb
@@ -139,9 +143,15 @@ class GroupBinding:
         self.retry_policy = (
             retry_policy if retry_policy is not None and retry_policy.enabled else None
         )
+        #: per-binding head-sampling override (None: the tracer's configured rate)
+        self.trace_sample = trace_sample
 
         obs = service.sim.obs
         self._tracer = obs.tracer
+        self._phases = obs.phases
+        self._phase_hists = {
+            name: obs.metrics.histogram(f"inv.phase.{name}") for name in PHASE_NAMES
+        }
         self._latency_hist = obs.metrics.histogram("client.invoke_latency")
         self._invocations_counter = obs.metrics.counter("client.invocations")
         self._rebind_counter = obs.metrics.counter("client.rebinds")
@@ -307,6 +317,7 @@ class GroupBinding:
                 kind="client",
                 node=self.client_id,
                 parent=None,
+                sample_rate=self.trace_sample,
                 attrs={
                     "service": self.service_name,
                     "operation": operation,
@@ -324,6 +335,7 @@ class GroupBinding:
             return future
         self._pending[call_no] = pending
         self.service.register_pending(call_no, self)
+        self._phases.begin((self.client_id, call_no))
         future.add_done_callback(lambda f: self._finish_invoke(pending, f))
         if timeout is not None:
             pending.timeout = timeout
@@ -368,14 +380,29 @@ class GroupBinding:
             False,
             "",
         )
-        with self._tracer.use(pending.span):
+        # use_root: a None span under sampling means "head-sampled out" —
+        # the send then flows under an explicitly unsampled context so no
+        # downstream site allocates spans for this invocation
+        with self._tracer.use_root(pending.span):
             self._gc.send(message)
         if pending.mode == Mode.ONE_WAY:
             self._tracer.end_span(pending.span, outcome="oneway")
 
     def _finish_invoke(self, pending: _PendingCall, fut: Future) -> None:
+        call_id = (self.client_id, pending.call_no)
         if not fut.failed:
             self._latency_hist.record(self.sim.now - pending.sent_at)
+            result = fut.result()
+            # the completing member: the reply whose arrival satisfied the
+            # invocation mode is the last one gathered (insertion order)
+            completing = result.replies[-1].member if result and result.replies else None
+            phases = self._phases.finish(call_id, completing)
+            if phases is not None:
+                hists = self._phase_hists
+                for name, value in phases.items():
+                    hists[name].record(value)
+        else:
+            self._phases.discard(call_id)
         self._tracer.end_span(
             pending.span,
             outcome="error" if fut.failed else "ok",

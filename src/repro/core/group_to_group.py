@@ -166,14 +166,14 @@ class GroupToGroupBinding:
                 },
             )
         if mode == Mode.ONE_WAY:
-            with tracer.use(span):
+            with tracer.use_root(span):
                 self._monitor.send(message)
             tracer.end_span(span, outcome="oneway")
             future.resolve(None)
             return future
         self._pending[call_no] = future
         self._spans[call_no] = (span, self.sim.now)
-        with tracer.use(span):
+        with tracer.use_root(span):
             self._monitor.send(message)
         return future
 

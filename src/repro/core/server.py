@@ -107,6 +107,8 @@ class ObjectGroupServer:
         self._own_replies: Dict[Tuple[str, int], ReplyMsg] = {}
         obs = service.sim.obs
         self._tracer = obs.tracer
+        self._flight = obs.flight
+        self._phases = obs.phases
         self._executed_counter = obs.metrics.counter("server.requests_executed")
         self._dup_counter = obs.metrics.counter("server.duplicates_suppressed")
         self._cache_hit_counter = obs.metrics.counter("server.reply_cache_hits")
@@ -197,6 +199,7 @@ class ObjectGroupServer:
             session.on_deliver = None
             session.on_view = None
             session._close()
+        self._flight.record(self.member_id, "restart", self.group_name)
         self._client_groups.clear()
         self._client_group_styles.clear()
         self._collectors.clear()
@@ -632,8 +635,9 @@ class ObjectGroupServer:
         cost = EXECUTION_OVERHEAD + self.orb.adapter().servant_cost(
             self.servant, invoke.operation
         )
+        self._phases.on_exec_submit(invoke.call_id, self.member_id)
         tracer = self._tracer
-        if tracer.enabled:
+        if tracer.enabled and tracer.recording:
             # the paper's m3: the replica executes the invocation.  The span
             # stays ambient while the servant runs, so the reply multicast
             # (m4) issued from ``done`` becomes its child.
@@ -657,6 +661,9 @@ class ObjectGroupServer:
         self._tracer.end_span(span)
 
     def _run_servant(self, invoke: InvokeMsg, done) -> None:
+        # node.execute scheduled us at the end of the busy window, so "now"
+        # is the execution completion time for this servant run
+        self._phases.on_exec_end(invoke.call_id, self.member_id)
         self._executed_counter.inc()
         method = getattr(self.servant, invoke.operation, None)
         if method is None or invoke.operation.startswith("_"):

@@ -137,6 +137,7 @@ class NewTopService:
         liveliness_config: Optional[LivelinessConfig] = None,
         ordering_config: Optional[OrderingConfig] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        trace_sample: Optional[float] = None,
     ) -> GroupBinding:
         """Bind to a replicated service.  Await ``binding.ready``."""
         return GroupBinding(
@@ -154,6 +155,7 @@ class NewTopService:
             liveliness_config=liveliness_config,
             ordering_config=ordering_config,
             retry_policy=retry_policy,
+            trace_sample=trace_sample,
         )
 
     def bind_group_to_group(

@@ -121,6 +121,9 @@ class MembershipEngine:
         if self.session.state == "closed":
             return
         self._suspicions.inc()
+        self.session._flight.record(
+            self.session.member_id, "suspect", self.session.group, member
+        )
         self.session._tracer.event(
             "gc.suspicion", group=self.session.group, suspect=member
         )
@@ -187,6 +190,12 @@ class MembershipEngine:
         self.coordinating = True
         self.attempt += 1
         self._flushes_started.inc()
+        session._flight.record(
+            session.member_id,
+            "flush_start",
+            session.group,
+            f"attempt={self.attempt} proposed={len(proposed)}",
+        )
         self._proposed = proposed
         self._oks = {}
         req = FlushReq(
@@ -284,6 +293,12 @@ class MembershipEngine:
             return
         self._answered = (req.view_id, req.attempt)
         self.attempt = max(self.attempt, req.attempt)
+        session._flight.record(
+            session.member_id,
+            "flush",
+            session.group,
+            f"v{req.view_id} attempt={req.attempt} coord={req.coordinator}",
+        )
         if session.state == "active":
             session.state = "flushing"
         unstable, ticket_list, frontier = session.collect_flush_state()

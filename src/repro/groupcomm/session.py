@@ -100,6 +100,8 @@ class GroupSession:
         self.stats = SessionStats()
         obs = self.sim.obs
         self._tracer = obs.tracer
+        self._flight = obs.flight
+        self._phases = obs.phases
         self._delivered_counter = obs.metrics.counter("gc.delivered")
         self._views_counter = obs.metrics.counter("gc.views_installed")
         self._unstable_hist = obs.metrics.histogram("gc.unstable_depth")
@@ -139,6 +141,10 @@ class GroupSession:
         if self.state == "closed":
             raise NotMember(f"{self.member_id} is not a member of {self.group}")
         if self.state in ("joining", "flushing"):
+            if getattr(payload, "forwarded", None) is not None:
+                # an invocation held behind a membership flush: start its
+                # flush-wait clock (released when the send finally goes out)
+                self._phases.on_flush_hold((payload.client, payload.call_no))
             self._queued_sends.append(payload)
             return
         if not self.flow.try_acquire(payload):
@@ -277,10 +283,15 @@ class GroupSession:
             self.unstable[msg.msg_id] = msg
             self.stats.sent += 1
             self._unstable_hist.record(float(len(self.unstable)))
+            self._flight.record(
+                self.member_id, "send", self.group, f"{self.member_id}#{gseq}"
+            )
+            if self._phases.flush_pending and getattr(payload, "forwarded", None) is not None:
+                self._phases.on_flush_release((payload.client, payload.call_no))
         self.detector.sent_something()
         tracer = self._tracer
         span = None
-        if tracer.enabled:
+        if tracer.enabled and tracer.recording:
             span = tracer.start_span(
                 "gc.send",
                 kind="producer",
@@ -356,6 +367,13 @@ class GroupSession:
             self.detector.note_activity()
             self._recv_gseq[msg.sender] = msg.gseq
             self.unstable[msg.msg_id] = msg
+            payload = msg.payload
+            if getattr(payload, "forwarded", None) is not None:
+                # raw request arrival at this member (before ordering):
+                # the ordering-wait clock for this member starts here
+                self._phases.on_arrival(
+                    (payload.client, payload.call_no), self.member_id
+                )
         self._ingest_acks(msg.sender, msg.acks)
         self._consider_null_reply(msg)
         self.ordering.on_data(msg)
@@ -507,9 +525,12 @@ class GroupSession:
             gseq,
             era=self.view.era,
         )
+        self._flight.record(
+            self.member_id, "ticket", self.group, f"{ticket}->{sender}#{gseq}"
+        )
         tracer = self._tracer
         span = None
-        if tracer.enabled:
+        if tracer.enabled and tracer.recording:
             span = tracer.start_span(
                 "gc.ticket",
                 kind="producer",
@@ -532,9 +553,15 @@ class GroupSession:
             [(ticket, key[0], key[1]) for ticket, key in entries],
             era=self.view.era,
         )
+        self._flight.record(
+            self.member_id,
+            "ticket",
+            self.group,
+            f"batch[{len(entries)}] {entries[0][0]}..{entries[-1][0]}",
+        )
         tracer = self._tracer
         span = None
-        if tracer.enabled:
+        if tracer.enabled and tracer.recording:
             first, last = entries[0][0], entries[-1][0]
             span = tracer.start_span(
                 "gc.ticket",
@@ -562,6 +589,13 @@ class GroupSession:
             return
         self.stats.delivered += 1
         self._delivered_counter.inc()
+        self._flight.record(
+            self.member_id, "deliver", self.group, f"{msg.sender}#{msg.gseq}"
+        )
+        payload = msg.payload
+        if getattr(payload, "forwarded", None) is not None:
+            # ordering released the request to the app: ordering wait ends
+            self._phases.on_cleared((payload.client, payload.call_no), self.member_id)
         if self.on_deliver is None:
             return
         tracer = self._tracer
@@ -570,16 +604,41 @@ class GroupSession:
             # the scheduler context here belongs to whichever protocol message
             # unblocked ordering, not to the message's causal origin
             parent = tracer.stashed_parent((self.group, msg.msg_id))
-            span = tracer.start_span(
-                "gc.deliver",
-                kind="consumer",
-                node=self.member_id,
-                parent=parent if parent is not None else "ambient",
-                attrs={"group": self.group, "sender": msg.sender, "gseq": msg.gseq},
-            )
-            with tracer.use(span):
+            span = None
+            if parent is not None:
+                # even if the ambient (unblocking) trace is unsampled, a
+                # stashed parent means the *origin* was sampled — record
+                span = tracer.start_span(
+                    "gc.deliver",
+                    kind="consumer",
+                    node=self.member_id,
+                    parent=parent,
+                    attrs={"group": self.group, "sender": msg.sender, "gseq": msg.gseq},
+                )
+            elif not tracer.sampling and tracer.recording:
+                # full tracing: a stash miss (cap eviction) falls back to the
+                # ambient span rather than losing the delivery entirely
+                span = tracer.start_span(
+                    "gc.deliver",
+                    kind="consumer",
+                    node=self.member_id,
+                    attrs={"group": self.group, "sender": msg.sender, "gseq": msg.gseq},
+                )
+            if span is not None:
+                with tracer.use(span):
+                    self.service.node.execute(
+                        DELIVER_COST, self._upcall_traced, span, msg.sender, msg.payload
+                    )
+            elif tracer.sampling:
+                # unsampled origin: run the upcall under an explicitly
+                # unsampled context so its downstream work allocates no spans
+                with tracer.use_root(None):
+                    self.service.node.execute(
+                        DELIVER_COST, self._upcall, msg.sender, msg.payload
+                    )
+            else:
                 self.service.node.execute(
-                    DELIVER_COST, self._upcall_traced, span, msg.sender, msg.payload
+                    DELIVER_COST, self._upcall, msg.sender, msg.payload
                 )
         else:
             self.service.node.execute(
@@ -651,6 +710,13 @@ class GroupSession:
         self.state = "active"
         self.stats.views += 1
         self._views_counter.inc()
+        self._flight.record(
+            self.member_id,
+            "view",
+            self.group,
+            f"v{install.view.view_id} members={len(install.view.members)}"
+            f" +{len(joined)} -{len(left)}",
+        )
         self._tracer.event(
             "gc.view_install",
             group=self.group,

@@ -164,7 +164,7 @@ class Network:
         self._link_queue_hist.record(tx_start - self.sim.now)
 
         span = None
-        if tracer.enabled:
+        if tracer.enabled and tracer.recording:
             span = tracer.start_span(
                 "net.hop",
                 kind="transport",

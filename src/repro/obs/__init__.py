@@ -5,16 +5,25 @@ bundles
 
 - a :class:`~repro.obs.tracer.Tracer` emitting causal span trees stamped
   with virtual sim time (one tree per client invocation, covering the
-  paper's fig. 9 m1-m6 message path), and
+  paper's fig. 9 m1-m6 message path), with head-based sampling via
+  :class:`~repro.obs.tracer.TraceConfig` for always-on deployments,
 - a :class:`~repro.obs.metrics.MetricsRegistry` of counters, gauges, and
   HDR-style histograms (latency percentiles, CPU/link queue depths, and
   per-kind protocol traffic: data / NULL / ticket / membership / control /
-  retransmit).
+  retransmit),
+- a :class:`~repro.obs.flight.FlightRecorder` — per-node ring buffers of
+  compact protocol events (send/deliver/ticket/flush/view/suspect/restart)
+  dumped into reports when an SLO or invariant verdict fails, and
+- a :class:`~repro.obs.phases.PhaseAccountant` decomposing invocation
+  latency into queue / order / flush / execute / reply phases
+  (``inv.phase.*`` histograms).
 
-Metrics are always on (they are cheap and deterministic); span recording is
-opt-in via ``Observability(trace=True)``, the global :func:`configure`
-options (used by the ``python -m repro.bench --trace`` flag), or the
-``REPRO_TRACE`` environment variable.
+Metrics, the flight recorder and phase accounting are always on (they are
+cheap and deterministic); span recording is opt-in via
+``Observability(trace=True)`` (or a :class:`TraceConfig` for sampled
+tracing), the global :func:`configure` options (used by the
+``python -m repro.bench --trace`` flag), or the ``REPRO_TRACE`` /
+``REPRO_TRACE_SAMPLE`` environment variables.
 
 The module deliberately imports nothing from the rest of ``repro`` so every
 layer — including the simulation kernel — can depend on it.
@@ -32,14 +41,17 @@ from repro.obs.exporters import (
     spans_by_trace,
     write_jsonl,
 )
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    diff_snapshots,
     merge_snapshots,
 )
-from repro.obs.tracer import ObsContext, Span, Tracer
+from repro.obs.phases import PHASE_NAMES, PhaseAccountant
+from repro.obs.tracer import ObsContext, Span, TraceConfig, Tracer
 
 __all__ = [
     "Observability",
@@ -48,13 +60,18 @@ __all__ = [
     "global_options",
     "reconcile_traffic",
     "Tracer",
+    "TraceConfig",
     "Span",
     "ObsContext",
+    "FlightRecorder",
+    "PhaseAccountant",
+    "PHASE_NAMES",
     "MetricsRegistry",
     "Counter",
     "Gauge",
     "Histogram",
     "merge_snapshots",
+    "diff_snapshots",
     "write_jsonl",
     "read_jsonl",
     "build_trees",
@@ -65,29 +82,47 @@ __all__ = [
 
 
 class Observability:
-    """Tracer + metrics registry for one simulation run."""
+    """Tracer + metrics + flight recorder + phase accountant for one run.
 
-    def __init__(self, trace: bool = False):
+    ``trace`` accepts either a bool (full tracing on/off) or a
+    :class:`TraceConfig` (tracing on, with that sampling/retention policy).
+    """
+
+    def __init__(self, trace: Union[bool, TraceConfig] = False):
         self.metrics = MetricsRegistry()
-        self.tracer = Tracer(enabled=trace)
+        if isinstance(trace, TraceConfig):
+            self.tracer = Tracer(enabled=True, config=trace)
+        else:
+            self.tracer = Tracer(enabled=bool(trace))
+        self.flight = FlightRecorder()
+        self.phases = PhaseAccountant()
         self.sim = None  # bound by Simulator.__init__
 
     def bind(self, sim) -> "Observability":
-        """Attach to a simulator: spans are stamped with its virtual clock."""
+        """Attach to a simulator: spans, flight events and phase marks are
+        stamped with its virtual clock."""
         self.sim = sim
-        self.tracer.clock = lambda: sim.now
+        clock = lambda: sim.now  # noqa: E731 - one shared bound clock
+        self.tracer.clock = clock
+        self.flight.clock = clock
+        self.phases.clock = clock
         return self
 
     # ------------------------------------------------------------------
     # snapshots / export
     # ------------------------------------------------------------------
     def metrics_snapshot(self) -> Dict[str, Dict]:
-        """Metrics snapshot, augmented with kernel gauges at read time."""
+        """Metrics snapshot, augmented with kernel gauges and tracer
+        counters at read time."""
         if self.sim is not None:
             self.metrics.gauge("sim.virtual_time").set(self.sim.now)
             self.metrics.gauge("sim.events_processed").set(
                 float(self.sim.events_processed)
             )
+        tracer = self.tracer
+        self.metrics.counter("obs.spans_dropped").value = tracer.dropped
+        self.metrics.counter("obs.roots_sampled").value = tracer.sampled_roots
+        self.metrics.counter("obs.roots_unsampled").value = tracer.unsampled_roots
         return self.metrics.snapshot()
 
     def trace_records(self) -> List[Dict[str, Any]]:
@@ -153,19 +188,24 @@ def reconcile_traffic(snapshot: Dict[str, Dict]) -> Dict[str, Tuple[int, int]]:
 
 #: Process-wide defaults consulted by Simulator when no explicit
 #: Observability is injected.  The bench CLI sets these from --trace /
-#: --metrics so existing workloads emit traces with zero code changes.
-_GLOBAL_OPTIONS: Dict[str, Any] = {"trace": False, "sink": None}
+#: --trace-sample / --metrics so existing workloads emit traces with zero
+#: code changes.
+_GLOBAL_OPTIONS: Dict[str, Any] = {"trace": False, "sample_rate": None, "sink": None}
 
 
 def configure(
-    trace: Optional[bool] = None, sink: Optional[TraceSink] = None
+    trace: Optional[bool] = None,
+    sink: Optional[TraceSink] = None,
+    sample_rate: Optional[float] = None,
 ) -> None:
-    """Set process-wide observability defaults (None leaves a value as-is).
+    """Set process-wide observability defaults (None leaves trace as-is).
 
-    ``configure(trace=False, sink=None)`` restores the defaults.
+    ``configure(trace=False, sink=None)`` restores the defaults (including
+    the sample rate, which is cleared unless explicitly passed).
     """
     if trace is not None:
         _GLOBAL_OPTIONS["trace"] = trace
+    _GLOBAL_OPTIONS["sample_rate"] = sample_rate
     _GLOBAL_OPTIONS["sink"] = sink
 
 
@@ -182,7 +222,15 @@ def observability_from_global_options() -> Observability:
         "0",
         "false",
     )
-    obs = Observability(trace=trace)
+    sample_rate = _GLOBAL_OPTIONS["sample_rate"]
+    env_rate = os.environ.get("REPRO_TRACE_SAMPLE", "")
+    if sample_rate is None and env_rate:
+        sample_rate = float(env_rate)
+        trace = True
+    if trace and sample_rate is not None:
+        obs = Observability(trace=TraceConfig(sample_rate=sample_rate))
+    else:
+        obs = Observability(trace=trace)
     sink = _GLOBAL_OPTIONS["sink"]
     if sink is not None:
         sink.register(obs)

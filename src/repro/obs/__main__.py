@@ -1,0 +1,156 @@
+"""Offline observability toolbox: ``python -m repro.obs <command>``.
+
+Works on the artefacts the library and the bench CLI already write — no
+live simulator needed (see docs/OBSERVABILITY.md):
+
+- ``timeline TRACE.jsonl``      render span JSONL as an indented
+  virtual-time timeline (``--trace ID`` restricts to one trace tree).
+- ``top TRACE.jsonl``           aggregate spans by name: count, total,
+  mean and max duration — the hot-span table.
+- ``diff BEFORE.json AFTER.json``  subtract two metrics snapshots and
+  print the window delta as the usual aligned table.
+- ``flight REPORT.json``        re-render the causally-ordered flight
+  recorder excerpt a failing scenario report carries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List
+
+from repro.obs.exporters import (
+    read_jsonl,
+    render_metrics_table,
+    render_timeline,
+    spans_by_trace,
+)
+from repro.obs.flight import FlightRecorder
+from repro.obs.metrics import diff_snapshots
+
+
+def cmd_timeline(args) -> int:
+    records = read_jsonl(args.trace_file)
+    if args.trace is not None:
+        records = [r for r in records if str(r.get("trace")) == args.trace]
+        if not records:
+            print(f"no spans with trace id {args.trace!r}", file=sys.stderr)
+            return 1
+    if not records:
+        print("no spans in trace file", file=sys.stderr)
+        return 1
+    # render per trace: span ids are only unique within one run, so a
+    # merged multi-run file must never hit one build_trees() call whole
+    for _, spans in sorted(spans_by_trace(records).items(), key=lambda kv: str(kv[0])):
+        print(render_timeline(spans))
+    return 0
+
+
+def cmd_top(args) -> int:
+    records = read_jsonl(args.trace_file)
+    if not records:
+        print("no spans in trace file", file=sys.stderr)
+        return 1
+    stats: Dict[str, List[float]] = {}
+    open_spans = 0
+    for record in records:
+        end = record.get("end")
+        if end is None:
+            open_spans += 1  # span never finished (cap or crash) — skip
+            continue
+        stats.setdefault(record["name"], []).append(end - record["start"])
+    rows = sorted(
+        (
+            (name, len(durations), sum(durations), max(durations))
+            for name, durations in stats.items()
+        ),
+        key=lambda row: row[2],
+        reverse=True,
+    )[: args.limit]
+    width = max([len(name) for name, *_ in rows] + [10])
+    print(
+        f"{'span':<{width}}  {'count':>8} {'total_ms':>12} {'mean_ms':>10} {'max_ms':>10}"
+    )
+    for name, count, total, peak in rows:
+        print(
+            f"{name:<{width}}  {count:>8} {total * 1e3:>12.3f}"
+            f" {total / count * 1e3:>10.3f} {peak * 1e3:>10.3f}"
+        )
+    if open_spans:
+        print(f"({open_spans} unfinished spans skipped)")
+    return 0
+
+
+def _load_snapshot(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fp:
+        data = json.load(fp)
+    # accept either a bare snapshot or a scenario report carrying one
+    if "metrics" in data and "counters" not in data:
+        data = data["metrics"]
+    return data
+
+
+def cmd_diff(args) -> int:
+    before = _load_snapshot(args.before)
+    after = _load_snapshot(args.after)
+    delta = diff_snapshots(before, after)
+    print(render_metrics_table(delta))
+    return 0
+
+
+def cmd_flight(args) -> int:
+    with open(args.report, "r", encoding="utf-8") as fp:
+        report = json.load(fp)
+    if isinstance(report, list):  # a raw excerpt dumped on its own
+        excerpt = report
+    else:
+        excerpt = report.get("flight_recorder")
+    if not excerpt:
+        print(
+            "no flight_recorder section (the report passed, or predates it)",
+            file=sys.stderr,
+        )
+        return 1
+    print(FlightRecorder.render_excerpt(excerpt))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect traces, metrics snapshots and flight recordings.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("timeline", help="render a span JSONL file as a timeline")
+    p.add_argument("trace_file", help="JSONL trace (from --trace or dump_trace)")
+    p.add_argument("--trace", default=None, help="restrict to one trace id")
+    p.set_defaults(fn=cmd_timeline)
+
+    p = sub.add_parser("top", help="hot spans by aggregate duration")
+    p.add_argument("trace_file", help="JSONL trace (from --trace or dump_trace)")
+    p.add_argument("--limit", type=int, default=20, help="rows to show (default 20)")
+    p.set_defaults(fn=cmd_top)
+
+    p = sub.add_parser("diff", help="window delta between two metrics snapshots")
+    p.add_argument("before", help="earlier snapshot JSON (or scenario report)")
+    p.add_argument("after", help="later snapshot JSON (or scenario report)")
+    p.set_defaults(fn=cmd_diff)
+
+    p = sub.add_parser("flight", help="render a report's flight recorder excerpt")
+    p.add_argument("report", help="scenario report JSON with a flight_recorder section")
+    p.set_defaults(fn=cmd_flight)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into head/less that quit early
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

@@ -136,28 +136,31 @@ def render_metrics_table(snapshot: Dict[str, Dict]) -> str:
         [len(n) for n in counters] + [len(n) for n in gauges] + [len(n) for n in histograms] + [12]
     )
     if counters:
+        # right-align values so negative and zero window deltas line up
+        value_width = max(len(str(v)) for v in counters.values())
         lines.append("counters")
         for name, value in counters.items():
-            lines.append(f"  {name:<{width}}  {value}")
+            lines.append(f"  {name:<{width}}  {value:>{value_width}}")
     if gauges:
+        value_width = max(len(f"{v:g}") for v in gauges.values())
         lines.append("gauges")
         for name, value in gauges.items():
-            lines.append(f"  {name:<{width}}  {value:g}")
+            lines.append(f"  {name:<{width}}  {value:>{value_width}g}")
     if histograms:
         lines.append("histograms (seconds)")
         header = f"  {'name':<{width}}  {'count':>8} {'mean':>12} {'p50':>12} {'p95':>12} {'p99':>12} {'max':>12}"
         lines.append(header)
         for name, summary in histograms.items():
-            # merged cross-run summaries have no percentiles (they cannot be
-            # recombined from per-run summaries) — show a dash, not a zero
+            # merged cross-run and window-diff summaries lack percentiles /
+            # max (they cannot be recombined from cumulative summaries) —
+            # show a dash, not a zero
             quantiles = " ".join(
                 f"{summary[q]:>12.6f}" if q in summary else f"{'-':>12}"
-                for q in ("p50", "p95", "p99")
+                for q in ("p50", "p95", "p99", "max")
             )
             lines.append(
                 f"  {name:<{width}}  {summary['count']:>8}"
                 f" {summary['mean']:>12.6f}"
                 f" {quantiles}"
-                f" {summary['max']:>12.6f}"
             )
     return "\n".join(lines)

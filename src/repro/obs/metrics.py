@@ -18,7 +18,14 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "merge_snapshots"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "diff_snapshots",
+]
 
 #: Linear sub-buckets per power-of-two octave (relative error ~6%).
 SUBBUCKETS = 16
@@ -215,6 +222,15 @@ class MetricsRegistry:
             },
         }
 
+    def diff(self, since: Dict[str, Dict]) -> Dict[str, Dict]:
+        """Window delta between a prior :meth:`snapshot` and now.
+
+        Equivalent to ``diff_snapshots(since, self.snapshot())`` — the SLO
+        and CLI entry point for per-window rates instead of cumulative
+        totals.
+        """
+        return diff_snapshots(since, self.snapshot())
+
 
 def merge_snapshots(snapshots: Iterable[Dict[str, Dict]]) -> Dict[str, Dict]:
     """Sum counters and combine histogram summaries across runs.
@@ -250,6 +266,42 @@ def merge_snapshots(snapshots: Iterable[Dict[str, Dict]]) -> Dict[str, Dict]:
                 merged["max"] = max(merged["max"], summary["max"])
             for quantile in ("p50", "p95", "p99"):
                 merged.pop(quantile, None)
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": dict(sorted(histograms.items())),
+    }
+
+
+def diff_snapshots(
+    before: Dict[str, Dict], after: Dict[str, Dict]
+) -> Dict[str, Dict]:
+    """Window delta between two snapshots of the *same* registry.
+
+    Counters subtract (new names count from zero; a negative delta means
+    the instrument was reset between snapshots and is reported as-is).
+    Gauges report the signed change in value.  Histogram summaries report
+    the window's observation count and an approximate window mean derived
+    from the count-weighted totals; min/max/percentiles are dropped since
+    they cannot be recovered from cumulative summaries.
+    """
+    counters = {
+        name: value - before.get("counters", {}).get(name, 0)
+        for name, value in after.get("counters", {}).items()
+    }
+    gauges = {
+        name: value - before.get("gauges", {}).get(name, 0.0)
+        for name, value in after.get("gauges", {}).items()
+    }
+    histograms: Dict[str, Dict[str, float]] = {}
+    for name, summary in after.get("histograms", {}).items():
+        prior = before.get("histograms", {}).get(name, {"count": 0, "mean": 0.0})
+        count = summary["count"] - prior["count"]
+        total = summary["mean"] * summary["count"] - prior["mean"] * prior["count"]
+        histograms[name] = {
+            "count": count,
+            "mean": total / count if count > 0 else 0.0,
+        }
     return {
         "counters": dict(sorted(counters.items())),
         "gauges": dict(sorted(gauges.items())),

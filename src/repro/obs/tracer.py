@@ -26,6 +26,15 @@ would inherit the request's kind.  Hop kinds are threaded explicitly via
 
 Span ids are sequential integers; with a fixed seed two runs produce
 identical traces.
+
+**Head-based sampling** (:class:`TraceConfig`) keeps tracing affordable on
+always-on deployments: the sampling decision is made once, where a new
+trace *root* would be allocated (a client invocation, a NULL heartbeat, a
+membership action), and the verdict rides the :class:`ObsContext` so every
+downstream instrumentation site pays only a boolean check.  Sampling is
+systematic (an accumulator, not an RNG): a rate of 0.01 records exactly
+every 100th root, deterministically, so same-seed runs still produce
+identical sampled span ids.
 """
 
 from __future__ import annotations
@@ -34,7 +43,7 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-__all__ = ["Span", "ObsContext", "Tracer"]
+__all__ = ["Span", "ObsContext", "TraceConfig", "Tracer"]
 
 #: Upper bound on retained span records (a runaway-trace backstop; the
 #: exporter reports how many were dropped).
@@ -44,14 +53,48 @@ MAX_SPANS = 500_000
 MAX_STASH = 65_536
 
 
+class TraceConfig:
+    """Tracing policy: head-sampling rate and retention bounds."""
+
+    __slots__ = ("sample_rate", "max_spans", "max_stash")
+
+    def __init__(
+        self,
+        sample_rate: float = 1.0,
+        max_spans: int = MAX_SPANS,
+        max_stash: int = MAX_STASH,
+    ):
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in [0, 1], got {sample_rate}")
+        if max_spans < 0 or max_stash < 0:
+            raise ValueError("max_spans and max_stash must be >= 0")
+        self.sample_rate = float(sample_rate)
+        self.max_spans = max_spans
+        self.max_stash = max_stash
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TraceConfig rate={self.sample_rate} max_spans={self.max_spans}>"
+
+
 class ObsContext:
-    """The ambient observability context: active span + causal labels."""
+    """The ambient observability context: active span + causal labels.
 
-    __slots__ = ("span", "labels")
+    ``sampled`` carries the head-sampling verdict of the trace this context
+    belongs to: contexts descending from an unsampled root keep flowing
+    (labels still work) but suppress span allocation everywhere downstream.
+    """
 
-    def __init__(self, span: Optional["Span"], labels: Tuple[Tuple[str, Any], ...] = ()):
+    __slots__ = ("span", "labels", "sampled")
+
+    def __init__(
+        self,
+        span: Optional["Span"],
+        labels: Tuple[Tuple[str, Any], ...] = (),
+        sampled: bool = True,
+    ):
         self.span = span
         self.labels = labels
+        self.sampled = sampled
 
     def label(self, key: str) -> Optional[Any]:
         for name, value in self.labels:
@@ -60,14 +103,15 @@ class ObsContext:
         return None
 
     def with_span(self, span: Optional["Span"]) -> "ObsContext":
-        return ObsContext(span, self.labels)
+        return ObsContext(span, self.labels, self.sampled)
 
     def with_label(self, key: str, value: Any) -> "ObsContext":
         kept = tuple(pair for pair in self.labels if pair[0] != key)
-        return ObsContext(self.span, kept + ((key, value),))
+        return ObsContext(self.span, kept + ((key, value),), self.sampled)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<ObsContext span={self.span!r} labels={dict(self.labels)}>"
+        state = "" if self.sampled else " unsampled"
+        return f"<ObsContext span={self.span!r} labels={dict(self.labels)}{state}>"
 
 
 class Span:
@@ -141,16 +185,62 @@ class Tracer:
 
     When ``enabled`` is False no spans are recorded and ``ctx`` carries only
     labels — the tracing hot paths reduce to a couple of attribute reads.
+    With sampling (``config.sample_rate < 1``) the head decision is taken
+    where a trace root would be allocated; descendants of an unsampled root
+    see :attr:`recording` False and skip span allocation entirely.
     """
 
-    def __init__(self, clock: Optional[Callable[[], float]] = None, enabled: bool = False):
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        enabled: bool = False,
+        config: Optional[TraceConfig] = None,
+    ):
         self.clock = clock or (lambda: 0.0)
         self.enabled = enabled
+        self.config = config or TraceConfig()
         self.ctx: Optional[ObsContext] = None
         self.spans: List[Span] = []
         self.dropped = 0
+        self.sampled_roots = 0
+        self.unsampled_roots = 0
         self._next_id = 1
         self._stash: "OrderedDict[Any, Span]" = OrderedDict()
+        #: systematic-sampling accumulators, one per distinct rate in use
+        self._sample_acc: Dict[float, float] = {}
+
+    @property
+    def recording(self) -> bool:
+        """Whether an instrumentation site should allocate spans right now:
+        tracing is on and the ambient context is not an unsampled trace."""
+        if not self.enabled:
+            return False
+        ctx = self.ctx
+        return ctx is None or ctx.sampled
+
+    @property
+    def sampling(self) -> bool:
+        """Whether head-sampling is active (some roots will be dropped)."""
+        return self.enabled and self.config.sample_rate < 1.0
+
+    def _sample_root(self, rate: Optional[float]) -> bool:
+        """Head decision for a would-be trace root.  Systematic: an
+        accumulator per rate records exactly ``rate`` of the roots."""
+        r = self.config.sample_rate if rate is None else rate
+        if r >= 1.0:
+            self.sampled_roots += 1
+            return True
+        if r <= 0.0:
+            self.unsampled_roots += 1
+            return False
+        acc = self._sample_acc.get(r, 0.0) + r
+        if acc >= 1.0:
+            self._sample_acc[r] = acc - 1.0
+            self.sampled_roots += 1
+            return True
+        self._sample_acc[r] = acc
+        self.unsampled_roots += 1
+        return False
 
     # ------------------------------------------------------------------
     # span lifecycle
@@ -162,14 +252,23 @@ class Tracer:
         node: Optional[str] = None,
         attrs: Optional[Dict[str, Any]] = None,
         parent: Any = "ambient",
+        sample_rate: Optional[float] = None,
     ) -> Optional[Span]:
         """Open a span.  ``parent`` defaults to the ambient span; pass an
         explicit :class:`Span` (or None for a new trace root) to override.
-        Returns None when tracing is disabled."""
+        Returns None when tracing is disabled, when the ambient context
+        belongs to an unsampled trace, or when this would root a new trace
+        and the head-sampling decision (``sample_rate``, defaulting to the
+        config's) says no."""
         if not self.enabled:
             return None
         if parent == "ambient":
-            parent = self.ctx.span if self.ctx is not None else None
+            ctx = self.ctx
+            if ctx is not None and not ctx.sampled:
+                return None
+            parent = ctx.span if ctx is not None else None
+        if parent is None and not self._sample_root(sample_rate):
+            return None
         span_id = self._next_id
         self._next_id += 1
         trace_id = parent.trace_id if parent is not None else span_id
@@ -184,7 +283,7 @@ class Tracer:
         )
         if attrs:
             span.attrs.update(attrs)
-        if len(self.spans) < MAX_SPANS:
+        if len(self.spans) < self.config.max_spans:
             self.spans.append(span)
         else:
             self.dropped += 1
@@ -201,10 +300,19 @@ class Tracer:
     # context activation
     # ------------------------------------------------------------------
     def activate(self, span: Optional[Span]) -> Optional[ObsContext]:
-        """Make ``span`` the ambient span; returns the token to restore()."""
+        """Make ``span`` the ambient span; returns the token to restore().
+
+        A real span only exists when its trace passed head sampling, so the
+        pushed context is always marked sampled — even if the previous
+        ambient context was an unsampled leftover (e.g. the scheduler chain
+        of an earlier head-sampled-out invocation)."""
         prev = self.ctx
         if span is not None:
-            self.ctx = prev.with_span(span) if prev is not None else ObsContext(span)
+            self.ctx = (
+                ObsContext(span, prev.labels, True)
+                if prev is not None
+                else ObsContext(span)
+            )
         return prev
 
     def restore(self, token: Optional[ObsContext]) -> None:
@@ -217,6 +325,27 @@ class Tracer:
             yield span
         finally:
             self.restore(token)
+
+    @contextmanager
+    def use_root(self, span: Optional[Span]):
+        """Activate a would-be trace *root* span.
+
+        Unlike :meth:`use`, a None span under active tracing means "this
+        root was head-sampled out": an explicitly *unsampled* context is
+        pushed so every downstream site (across scheduler hops) skips span
+        allocation for this invocation while labels keep flowing.
+        """
+        if span is None and self.enabled:
+            prev = self.ctx
+            labels = prev.labels if prev is not None else ()
+            self.ctx = ObsContext(None, labels, False)
+            try:
+                yield None
+            finally:
+                self.restore(prev)
+        else:
+            with self.use(span):
+                yield span
 
     @contextmanager
     def span(
@@ -272,7 +401,7 @@ class Tracer:
         if span is None:
             return
         self._stash[key] = span
-        while len(self._stash) > MAX_STASH:
+        while len(self._stash) > self.config.max_stash:
             self._stash.popitem(last=False)
 
     def stashed_parent(self, key: Any) -> Optional[Span]:

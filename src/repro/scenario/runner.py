@@ -22,6 +22,8 @@ from repro.apps.chat import make_peer_config
 from repro.apps.randserver import RandomNumberServant
 from repro.core.modes import BindingStyle
 from repro.groupcomm.config import GroupConfig, Liveliness
+from repro.obs import Observability
+from repro.obs.phases import PHASE_NAMES
 from repro.recovery import RecoveryManager, convergence_status
 from repro.scenario.arrivals import arrival_process_from_spec
 from repro.scenario.faults import FaultSchedule
@@ -55,6 +57,12 @@ def run_scenario(source, obs=None) -> Dict:
     """
     spec = load_spec(source)
     started_wall = time.monotonic()
+    if obs is None:
+        # the spec's group.trace section can turn on (sampled) tracing for
+        # this run without any code changes at the call site
+        trace_config = spec.group.build_trace_config()
+        if trace_config is not None:
+            obs = Observability(trace=trace_config)
     env = Environment(config=spec.topology, seed=spec.seed, obs=obs)
     sim = env.sim
 
@@ -116,6 +124,25 @@ def run_scenario(source, obs=None) -> Dict:
     }
 
     counters = snapshot.get("counters", {})
+    histograms = snapshot.get("histograms", {})
+    breakdown = None
+    e2e = histograms.get("client.invoke_latency")
+    if e2e and e2e["count"]:
+        phase_means = {
+            name: histograms.get(f"inv.phase.{name}", {"mean": 0.0})["mean"]
+            for name in PHASE_NAMES
+        }
+        phase_sum = sum(phase_means.values())
+        breakdown = {
+            "phases_ms": {n: m * 1e3 for n, m in phase_means.items()},
+            "end_to_end_mean_ms": e2e["mean"] * 1e3,
+            "sum_of_phase_means_ms": phase_sum * 1e3,
+            "reconciliation_pct": (
+                abs(phase_sum - e2e["mean"]) / e2e["mean"] * 100.0
+                if e2e["mean"] > 0
+                else 0.0
+            ),
+        }
     report = {
         "report_version": REPORT_VERSION,
         "scenario": spec.name,
@@ -137,22 +164,38 @@ def run_scenario(source, obs=None) -> Dict:
         "faults": schedule.log,
         "recovery": convergence,
         "slos": verdicts,
+        "latency_breakdown": breakdown,
         "metrics": {
             "counters": {
                 name: value
                 for name, value in counters.items()
                 if name.split(".", 1)[0]
-                in ("gc", "net", "client", "server", "scenario", "recovery")
+                in ("gc", "net", "client", "server", "scenario", "recovery", "obs")
             },
             "histograms": {
-                name: snapshot["histograms"][name]
-                for name in ("scenario.latency", "node.cpu_queue_delay", "recovery.time")
-                if name in snapshot.get("histograms", {})
+                name: histograms[name]
+                for name in (
+                    "scenario.latency",
+                    "node.cpu_queue_delay",
+                    "recovery.time",
+                    "client.invoke_latency",
+                    *(f"inv.phase.{n}" for n in PHASE_NAMES),
+                )
+                if name in histograms
             },
         },
         "passed": passed,
         "wall_time_s": round(time.monotonic() - started_wall, 3),
     }
+    failed = (
+        not passed
+        or not drained
+        or (convergence is not None and not convergence["converged"])
+    )
+    if failed:
+        # post-mortem: the merged, causally-ordered tail of every node's
+        # protocol flight ring rides along with the failing report
+        report["flight_recorder"] = sim.obs.flight.excerpt(last=80)
     return report
 
 

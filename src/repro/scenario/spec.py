@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.modes import BindingStyle, Mode, ReplicationPolicy
 from repro.groupcomm.config import Liveliness, LivelinessConfig, Ordering, OrderingConfig
+from repro.obs import TraceConfig
 from repro.recovery.policy import RetryPolicy
 from repro.scenario.arrivals import arrival_process_from_spec
 from repro.scenario.faults import FaultEvent
@@ -59,11 +60,13 @@ class GroupSpec:
     liveliness_config: Dict = field(default_factory=dict)
     ordering_config: Dict = field(default_factory=dict)
     retry: Dict = field(default_factory=dict)
+    trace: Dict = field(default_factory=dict)
 
     _FIELDS = (
         "replicas", "style", "ordering", "restricted", "async_forwarding",
         "policy", "liveliness", "suspicion_timeout", "flush_timeout",
         "silence_period", "liveliness_config", "ordering_config", "retry",
+        "trace",
     )
 
     def __post_init__(self):
@@ -76,6 +79,7 @@ class GroupSpec:
         self.build_liveliness_config()  # validate eagerly
         self.build_ordering_config()
         self.build_retry_policy()
+        self.build_trace_config()
 
     def build_liveliness_config(self) -> LivelinessConfig:
         """The group's quiescence tuning (empty dict = library defaults)."""
@@ -94,6 +98,22 @@ class GroupSpec:
             return OrderingConfig(**self.ordering_config)
         except (TypeError, ValueError) as exc:
             raise ValueError(f"group.ordering_config: {exc}") from exc
+
+    def build_trace_config(self) -> Optional[TraceConfig]:
+        """Per-scenario tracing policy (empty dict = tracing off, seed
+        behaviour).  Keys: ``enabled`` (bool, default True when the section
+        is present) and ``sample_rate`` (float in [0, 1], default 1.0)."""
+        if not isinstance(self.trace, dict):
+            raise ValueError("group.trace must be an object")
+        if not self.trace:
+            return None
+        _check_keys("group.trace", self.trace, ("enabled", "sample_rate"))
+        if not self.trace.get("enabled", True):
+            return None
+        try:
+            return TraceConfig(sample_rate=self.trace.get("sample_rate", 1.0))
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"group.trace: {exc}") from exc
 
     def build_retry_policy(self) -> Optional[RetryPolicy]:
         """Client per-call retry/backoff (empty dict = off, seed behaviour)."""

@@ -73,6 +73,10 @@ class ProtocolRecord:
 
     def __init__(self):
         self.events: Dict[Tuple[str, str], List[tuple]] = {}
+        #: the run's protocol flight recorder (captured from the first
+        #: recorded session's simulator) — lets a failing invariant check
+        #: attach the causally-ordered protocol-event tail as a post-mortem
+        self.flight = None
 
     def log(self, group: str, member: str) -> List[tuple]:
         return self.events.setdefault((group, member), [])
@@ -102,6 +106,8 @@ def record_protocol():
 
     def patched_init(self, service, group, config, initial_view=None):
         orig_init(self, service, group, config, initial_view=initial_view)
+        if record.flight is None:
+            record.flight = self.sim.obs.flight
         if initial_view is not None:
             record.log(group, self.member_id).append(
                 ("view", (initial_view.era, initial_view.view_id),
@@ -228,12 +234,18 @@ def check_invariants(
     total_order: bool = True,
     exclude: Iterable[str] = (),
     groups: Iterable[str] = None,
+    flight=None,
 ) -> List[str]:
     """All detected violations across every recorded group (empty = pass).
 
     ``total_order=False`` skips check 1 (causal/FIFO-only groups).
     ``exclude`` names members whose cross-member guarantees lapsed
     (crashed mid-run); their logs are ignored entirely.
+
+    When any violation is found, the run's protocol flight-recorder tail
+    (``flight``, defaulting to the recorder captured by
+    :func:`record_protocol`) is appended as a final rendered entry so the
+    assertion output doubles as a post-mortem.
     """
     excluded: FrozenSet[str] = frozenset(exclude)
     violations: List[str] = []
@@ -245,6 +257,10 @@ def check_invariants(
         violations += _check_fifo_gapfree(group, orders)
         violations += _check_causal(group, record, members, orders)
         violations += _check_virtual_synchrony(group, record, members, orders)
+    if violations:
+        recorder = flight if flight is not None else record.flight
+        if recorder is not None and len(recorder):
+            violations.append(recorder.render(last=60))
     return violations
 
 

@@ -1,0 +1,446 @@
+"""Always-on observability: head sampling, the protocol flight recorder,
+per-phase latency decomposition, metrics window diffs, and the offline
+``python -m repro.obs`` CLI."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import request_reply_point
+from repro.core import BindingStyle, Mode
+from repro.groupcomm.ordering import AsymmetricOrder
+from repro.obs import (
+    FlightRecorder,
+    MetricsRegistry,
+    Observability,
+    TraceConfig,
+    Tracer,
+    build_trees,
+    diff_snapshots,
+    read_jsonl,
+    render_metrics_table,
+    render_timeline,
+    write_jsonl,
+)
+from repro.scenario import run_scenario
+from tests.invariants import check_invariants, record_protocol
+from tests.test_invariant_sweep import sweep_spec
+
+
+# ---------------------------------------------------------------------------
+# head sampling
+# ---------------------------------------------------------------------------
+def test_trace_config_validation():
+    assert TraceConfig().sample_rate == 1.0
+    assert TraceConfig(sample_rate=0.25).sample_rate == 0.25
+    with pytest.raises(ValueError):
+        TraceConfig(sample_rate=1.5)
+    with pytest.raises(ValueError):
+        TraceConfig(sample_rate=-0.1)
+    with pytest.raises(ValueError):
+        TraceConfig(max_spans=-1)
+
+
+def test_systematic_sampling_is_exact_not_probabilistic():
+    tracer = Tracer(enabled=True, config=TraceConfig(sample_rate=0.25))
+    verdicts = [tracer.start_span("root", parent=None) is not None for _ in range(8)]
+    # an accumulator, not an RNG: exactly rate * n roots survive, and the
+    # pattern is the same every run
+    assert verdicts.count(True) == 2
+    assert tracer.sampled_roots == 2
+    assert tracer.unsampled_roots == 6
+    again = Tracer(enabled=True, config=TraceConfig(sample_rate=0.25))
+    assert verdicts == [again.start_span("r", parent=None) is not None for _ in range(8)]
+
+
+def test_unsampled_root_suppresses_descendants_but_labels_flow():
+    tracer = Tracer(enabled=True, config=TraceConfig(sample_rate=0.0))
+    token = tracer.push_label("client", "c0")
+    root = tracer.start_span("invoke", parent=None)  # head-sampled out
+    assert root is None
+    with tracer.use_root(root):
+        # downstream of an unsampled root: no spans, even explicit ones
+        assert not tracer.recording
+        assert tracer.start_span("gc.send") is None
+        assert tracer.label("client") == "c0"  # labels keep flowing
+        tracer.event("ignored")  # must be a safe no-op
+    tracer.restore(token)
+    assert tracer.records() == []
+    assert tracer.unsampled_roots == 1
+
+
+def test_sampled_runs_are_deterministic_and_thinner():
+    def run(rate):
+        obs = Observability(trace=TraceConfig(sample_rate=rate))
+        request_reply_point(
+            "lan", 2, replicas=3, style=BindingStyle.OPEN,
+            mode=Mode.ALL, requests=10, seed=5, obs=obs,
+        )
+        return obs.trace_records(), obs.metrics_snapshot()
+
+    sampled_a, snap_a = run(0.2)
+    sampled_b, snap_b = run(0.2)
+    # same seed, same rate -> identical sampled span ids and metrics
+    assert sampled_a == sampled_b
+    assert snap_a == snap_b
+    full, _snap = run(1.0)
+    assert 0 < len(sampled_a) < len(full)
+    counters = snap_a["counters"]
+    assert counters["obs.roots_sampled"] > 0
+    assert counters["obs.roots_unsampled"] > counters["obs.roots_sampled"]
+    # every sampled invocation still forms a complete connected tree
+    roots, children = build_trees(sampled_a)
+    ids = {r["span"] for r in sampled_a}
+    assert all(s["parent"] is None or s["parent"] in ids for s in sampled_a)
+    invoke_roots = [r for r in roots if r["name"] == "invoke"]
+    assert invoke_roots
+    # sampled invocations keep their causal subtrees (sends held back by a
+    # concurrent flush may detach, so "all" would overfit)
+    assert any(children.get(r["span"]) for r in invoke_roots)
+    names = {s["name"] for s in sampled_a}
+    assert {"gc.send", "gc.deliver", "server.execute"} <= names
+
+
+# ---------------------------------------------------------------------------
+# partial traces through the exporters
+# ---------------------------------------------------------------------------
+def test_span_cap_truncation_round_trips_with_orphans(tmp_path):
+    clock = [0.0]
+    tracer = Tracer(
+        clock=lambda: clock[0], enabled=True, config=TraceConfig(max_spans=2)
+    )
+    root = tracer.start_span("invoke", parent=None)
+    with tracer.use(root):
+        kept = tracer.start_span("gc.send")
+        dropped = tracer.start_span("net.hop")  # over the cap: not retained
+        with tracer.use(dropped):
+            orphan = tracer.start_span("gc.deliver")  # parent never exported
+    for span in (orphan, dropped, kept, root):
+        tracer.end_span(span)
+    assert tracer.dropped == 2
+    records = tracer.records()
+    assert len(records) == 2
+
+    path = tmp_path / "partial.jsonl"
+    assert write_jsonl(str(path), records) == 2
+    loaded = read_jsonl(str(path))
+    assert loaded == json.loads(json.dumps(records))
+    # the orphaned child is promoted to a root instead of being lost
+    roots, children = build_trees(loaded)
+    assert {r["name"] for r in roots} == {"invoke"}
+    assert [c["name"] for c in children[root.span_id]] == ["gc.send"]
+    assert "invoke" in render_timeline(loaded)
+
+    # the cap is observable: metrics_snapshot surfaces the drop counter
+    obs = Observability(trace=TraceConfig(max_spans=2))
+    obs.tracer.clock = lambda: 0.0
+    for _ in range(3):
+        obs.tracer.start_span("s", parent=None)
+    assert obs.metrics_snapshot()["counters"]["obs.spans_dropped"] == 1
+
+
+# ---------------------------------------------------------------------------
+# flight recorder
+# ---------------------------------------------------------------------------
+def test_flight_rings_bound_per_node_and_merge_causally():
+    flight = FlightRecorder(capacity=4)
+    t = [0.0]
+    flight.clock = lambda: t[0]
+    for i in range(10):
+        t[0] = i * 1e-3
+        flight.record("n0", "send", "g", f"m{i}")
+        flight.record("n1", "deliver", "g", f"m{i}")
+    assert len(flight.events("n0")) == 4  # per-node ring capacity
+    merged = flight.events()
+    assert [e[0] for e in merged] == sorted(e[0] for e in merged)
+    # the interleaving is preserved: send precedes its delivery
+    kinds = [(e[2], e[3]) for e in merged]
+    assert kinds[0] == ("n0", "send") and kinds[1] == ("n1", "deliver")
+
+    excerpt = flight.excerpt(last=3)
+    assert [e["seq"] for e in excerpt] == [e[0] for e in merged[-3:]]
+    # the excerpt is JSON-clean and renders identically after a round-trip
+    revived = json.loads(json.dumps(excerpt))
+    assert FlightRecorder.render_excerpt(revived) == flight.render(last=3)
+    assert "flight recorder: last 3 protocol events" in flight.render(last=3)
+
+    flight.clear()
+    assert len(flight) == 0
+    assert flight.render() == "(flight recorder empty)"
+
+
+FLIGHT_SPEC = {
+    "name": "flight-smoke",
+    "seed": 7,
+    "topology": "lan",
+    "settle": 1.0,
+    "group": {"replicas": 3},
+    "traffic": {
+        "arrivals": {"kind": "poisson", "rate": 2.0},
+        "churn": {"initial": 4},
+        "duration": 2.0,
+        "drain": 20.0,
+    },
+    "slos": [{"kind": "accounting", "name": "acct"}],
+}
+
+
+def test_failed_slo_report_attaches_causal_flight_excerpt():
+    spec = dict(FLIGHT_SPEC)
+    spec["slos"] = [
+        {"kind": "latency", "name": "impossible", "stat": "p95", "max_ms": 1e-4}
+    ]
+    report = run_scenario(spec)
+    assert not report["passed"]
+    excerpt = report["flight_recorder"]
+    assert excerpt, "a failing report must carry the protocol flight excerpt"
+    seqs = [e["seq"] for e in excerpt]
+    assert seqs == sorted(seqs)  # causally ordered
+    assert {e["kind"] for e in excerpt} & {"send", "deliver", "ticket"}
+    assert len({e["node"] for e in excerpt}) > 1  # merged across nodes
+    json.dumps(excerpt)  # report stays JSON-serialisable
+
+    # and a passing run stays lean: no excerpt attached
+    assert "flight_recorder" not in run_scenario(FLIGHT_SPEC)
+
+
+def test_invariant_violation_carries_flight_excerpt(monkeypatch):
+    """A mutated protocol must fail post-mortem-first: the checker's output
+    ends with the merged flight excerpt of the broken run."""
+    original = AsymmetricOrder.on_ticket_batch
+
+    def sabotaged(self, batch):
+        batch.tickets = list(reversed(batch.tickets))
+        original(self, batch)
+
+    monkeypatch.setattr(AsymmetricOrder, "on_ticket_batch", sabotaged)
+    with record_protocol() as record:
+        run_scenario(sweep_spec(7, "asymmetric", True, "none"))
+    violations = check_invariants(record, total_order=True)
+    assert violations
+    assert "flight recorder" in violations[-1]
+    assert "ticket" in violations[-1]
+
+
+# ---------------------------------------------------------------------------
+# per-phase latency decomposition
+# ---------------------------------------------------------------------------
+def test_phase_decomposition_reconciles_with_end_to_end_latency():
+    # closed-style saturation-ish load: every invocation is decomposed into
+    # queue/order/flush/execute/reply and the phase means must tile the
+    # end-to-end mean (acceptance bar: within 1%; construction gives 0%)
+    spec = {
+        "name": "phase-reconcile",
+        "seed": 11,
+        "topology": "lan",
+        "settle": 1.0,
+        "group": {"replicas": 3, "style": "closed"},
+        "traffic": {
+            "arrivals": {"kind": "poisson", "rate": 20.0},
+            "churn": {"initial": 6},
+            "duration": 2.0,
+            "drain": 20.0,
+            "mode": "all",
+        },
+        "slos": [{"kind": "accounting", "name": "acct"}],
+    }
+    report = run_scenario(spec)
+    assert report["passed"]
+    breakdown = report["latency_breakdown"]
+    assert breakdown is not None
+    assert breakdown["end_to_end_mean_ms"] > 0
+    assert breakdown["reconciliation_pct"] <= 1.0
+    phases = breakdown["phases_ms"]
+    assert set(phases) == {"queue", "order", "flush", "execute", "reply"}
+    assert all(value >= 0.0 for value in phases.values())
+    assert phases["execute"] > 0  # servant cost is never zero
+    total = sum(phases.values())
+    assert total == pytest.approx(breakdown["sum_of_phase_means_ms"])
+    assert total == pytest.approx(breakdown["end_to_end_mean_ms"], rel=0.01)
+    # the same decomposition is exported as inv.phase.* histograms
+    hists = report["metrics"]["histograms"]
+    e2e = hists["client.invoke_latency"]
+    for name in phases:
+        assert hists[f"inv.phase.{name}"]["count"] == e2e["count"]
+
+
+def test_peer_workloads_have_no_phase_breakdown():
+    report = run_scenario(
+        {
+            "name": "peer-phases",
+            "seed": 3,
+            "topology": "lan",
+            "settle": 1.5,
+            "group": {"replicas": 3, "liveliness": "lively", "suspicion_timeout": 2.0},
+            "traffic": {
+                "arrivals": {"kind": "poisson", "rate": 0.5},
+                "churn": {"initial": 3},
+                "duration": 2.0,
+                "drain": 20.0,
+                "workload": "peer",
+                "timeout": 10.0,
+            },
+            "slos": [{"kind": "accounting", "name": "acct"}],
+        }
+    )
+    assert report["passed"]
+    assert report["latency_breakdown"] is None  # no client invocations
+
+
+def test_scenario_trace_section_enables_sampled_tracing():
+    spec = json.loads(json.dumps(FLIGHT_SPEC))
+    spec["group"]["trace"] = {"sample_rate": 0.5}
+    report = run_scenario(spec)
+    counters = report["metrics"]["counters"]
+    assert counters["obs.roots_sampled"] > 0
+    assert counters["obs.roots_unsampled"] > 0
+    assert counters["obs.spans_dropped"] == 0
+    # disabled section (or none at all) keeps the seed's trace-off defaults
+    spec["group"]["trace"] = {"enabled": False}
+    off = run_scenario(spec)
+    assert off["metrics"]["counters"]["obs.roots_sampled"] == 0
+    assert off["metrics"]["counters"]["obs.roots_unsampled"] == 0
+    with pytest.raises(ValueError):
+        run_scenario({**spec, "group": {"trace": {"sample_rate": 2.0}}})
+
+
+# ---------------------------------------------------------------------------
+# metrics snapshots: window diffs and table alignment
+# ---------------------------------------------------------------------------
+def test_snapshot_diff_isolates_the_window():
+    registry = MetricsRegistry()
+    registry.counter("gc.sent.data").inc(10)
+    registry.gauge("depth").set(4.0)
+    registry.histogram("lat").record(1.0)
+    before = registry.snapshot()
+    registry.counter("gc.sent.data").inc(5)
+    registry.counter("gc.sent.null").inc(2)  # appears mid-window
+    registry.gauge("depth").set(1.5)
+    registry.histogram("lat").record(3.0)
+    delta = registry.diff(before)
+    assert delta["counters"]["gc.sent.data"] == 5
+    assert delta["counters"]["gc.sent.null"] == 2
+    assert delta["gauges"]["depth"] == -2.5
+    window = delta["histograms"]["lat"]
+    assert window["count"] == 1
+    assert window["mean"] == pytest.approx(3.0)  # window mean, not cumulative
+    assert diff_snapshots(before, before)["counters"]["gc.sent.data"] == 0
+
+
+def test_metrics_table_aligns_negative_and_missing_values():
+    registry = MetricsRegistry()
+    registry.counter("gc.sent.data").inc(10)
+    registry.counter("gc.sent.null").inc(2)
+    registry.gauge("depth").set(4.0)
+    registry.histogram("lat").record(1.0)
+    before = registry.snapshot()
+    registry.counter("gc.sent.null").inc(990)
+    registry.gauge("depth").set(1.0)
+    registry.histogram("lat").record(2.0)
+    table = render_metrics_table(registry.diff(before))
+    lines = {
+        line.strip().split()[0]: line
+        for line in table.splitlines()
+        if line.startswith("  ")
+    }
+    # zero and wide deltas end in the same column (right-aligned values)
+    assert lines["gc.sent.data"].rstrip().endswith("  0")
+    assert lines["gc.sent.null"].rstrip().endswith("990")
+    assert len(lines["gc.sent.data"].rstrip()) == len(lines["gc.sent.null"].rstrip())
+    assert lines["depth"].rstrip().endswith("-3")
+    # window histogram rows carry count+mean; percentiles render as dashes
+    assert lines["lat"].count("-") >= 4
+    assert "2.000000" in lines["lat"]
+
+
+# ---------------------------------------------------------------------------
+# offline CLI: python -m repro.obs
+# ---------------------------------------------------------------------------
+def _traced_run(tmp_path):
+    obs = Observability(trace=True)
+    request_reply_point(
+        "lan", 1, replicas=3, style=BindingStyle.OPEN,
+        mode=Mode.ALL, requests=3, obs=obs,
+    )
+    path = tmp_path / "trace.jsonl"
+    obs.dump_trace(str(path))
+    return obs, path
+
+
+def test_obs_cli_timeline_and_top(tmp_path, capsys):
+    from repro.obs.__main__ import main
+
+    _obs, path = _traced_run(tmp_path)
+    assert main(["timeline", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "invoke" in out and "--- trace" in out
+
+    records = read_jsonl(str(path))
+    one_trace = str(records[0]["trace"])
+    assert main(["timeline", str(path), "--trace", one_trace]) == 0
+    out = capsys.readouterr().out
+    assert out.count("--- trace") == 1
+    assert main(["timeline", str(path), "--trace", "nonexistent"]) == 1
+
+    assert main(["top", str(path), "--limit", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "span" in out and "total_ms" in out
+    assert "gc.send" in out or "net.hop" in out
+    assert len([l for l in out.splitlines() if l and not l.startswith("(")]) <= 6
+
+
+def test_obs_cli_diff(tmp_path, capsys):
+    from repro.obs.__main__ import main
+
+    registry = MetricsRegistry()
+    registry.counter("gc.sent.data").inc(3)
+    before = tmp_path / "before.json"
+    before.write_text(json.dumps(registry.snapshot()))
+    registry.counter("gc.sent.data").inc(4)
+    after = tmp_path / "after.json"
+    after.write_text(json.dumps(registry.snapshot()))
+    assert main(["diff", str(before), str(after)]) == 0
+    out = capsys.readouterr().out
+    assert "gc.sent.data" in out and "7" not in out.split() and "4" in out.split()
+
+
+def test_obs_cli_flight_renders_report_excerpt(tmp_path, capsys):
+    from repro.obs.__main__ import main
+
+    spec = dict(FLIGHT_SPEC)
+    spec["slos"] = [
+        {"kind": "latency", "name": "impossible", "stat": "p95", "max_ms": 1e-4}
+    ]
+    report = run_scenario(spec)
+    path = tmp_path / "report.json"
+    path.write_text(json.dumps(report))
+    assert main(["flight", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "flight recorder: last" in out
+
+    passing = tmp_path / "ok.json"
+    passing.write_text(json.dumps(run_scenario(FLIGHT_SPEC)))
+    assert main(["flight", str(passing)]) == 1
+
+
+# ---------------------------------------------------------------------------
+# bench CLI flag
+# ---------------------------------------------------------------------------
+def test_bench_cli_trace_sample_flag(tmp_path, capsys, monkeypatch):
+    from repro.bench.__main__ import main
+
+    monkeypatch.setenv("REPRO_BENCH_REPORT", str(tmp_path / "report.txt"))
+    full_path = tmp_path / "full.jsonl"
+    assert main(["table1", "--trace", str(full_path)]) == 0
+    capsys.readouterr()
+    sampled_path = tmp_path / "sampled.jsonl"
+    # --trace-sample implies --trace (default trace.jsonl), here explicit
+    assert main(
+        ["table1", "--trace", str(sampled_path), "--trace-sample", "0.1"]
+    ) == 0
+    capsys.readouterr()
+    full = read_jsonl(str(full_path))
+    sampled = read_jsonl(str(sampled_path))
+    assert 0 < len(sampled) < len(full)
+    with pytest.raises(SystemExit):
+        main(["table1", "--trace-sample", "1.5"])

@@ -1,0 +1,327 @@
+#!/usr/bin/env python
+"""Sharding scale-out: aggregate kvstore throughput vs shard count.
+
+The flat replicated kvstore funnels every write through one sequencer, so
+its throughput ceiling is one node's CPU no matter how many replicas the
+group has.  Sharded subgroups (``repro.shard``) split the same membership
+into N shards, each with its own sequencer and ordering sessions; the
+key-routed client touches only the owning shard per call.  Aggregate
+throughput should therefore scale with the shard count until some other
+resource saturates.
+
+This benchmark fixes the total membership (default 8 members on one LAN)
+and sweeps the shard count 1 -> 2 -> 4 under a saturating closed-loop
+single-key put workload (the key pool is balanced across shards for every
+layout, so the comparison isolates ordering parallelism).  Two gates:
+
+- **Scaling bars** (deterministic): aggregate delivered ops/sec must be
+  strictly monotonic in the shard count, and the 4-shard point must be at
+  least ``SCALE_FLOOR`` (1.5x) the 1-shard ceiling.
+- **Behaviour** (deterministic): per-configuration completed-op and
+  ``gc.delivered`` counts must exactly match the committed
+  ``BENCH_shard.json`` under ``--check`` — virtual time makes the whole
+  sweep reproducible, so any drift means the protocol changed.
+
+Run ``python benchmarks/bench_sharding.py`` to refresh the baseline;
+results also append to bench_report.txt via the usual emit() path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+import zlib
+
+from repro.apps.sharded_kvstore import ShardedKVClient, ShardKVServant
+from repro.bench.env import Environment
+from repro.bench.report import emit, format_table
+from repro.bench.workloads import run_until_done
+from repro.core.modes import Mode
+from repro.groupcomm.config import GroupConfig, Liveliness, Ordering
+from repro.obs import Observability
+from repro.sim import spawn
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_shard.json"
+)
+
+SHARD_COUNTS = (1, 2, 4)
+SCALE_FLOOR = 1.5  # 4 shards must beat the 1-shard ceiling by this factor
+
+
+def build_key_pool(size: int) -> list:
+    """``size`` keys with equal counts per crc32%4 class, interleaved.
+
+    Every swept layout (1, 2 or 4 round-robin shards) then sees balanced
+    per-shard load, so throughput differences isolate ordering parallelism
+    rather than key skew.
+    """
+    per_class = size // 4
+    classes = {0: [], 1: [], 2: [], 3: []}
+    index = 0
+    while any(len(keys) < per_class for keys in classes.values()):
+        key = f"k{index}"
+        index += 1
+        bucket = classes[zlib.crc32(key.encode()) % 4]
+        if len(bucket) < per_class:
+            bucket.append(key)
+    return [classes[c][i] for i in range(per_class) for c in range(4)]
+
+
+class PutWorker:
+    """Closed-loop single-key writer (the ClosedLoopClient shape, keyed)."""
+
+    def __init__(self, sim, kv: ShardedKVClient, keys, stride, offset,
+                 requests: int, warmup: int):
+        self.sim = sim
+        self.kv = kv
+        self.keys = keys
+        self.stride = stride
+        self.offset = offset
+        self.requests = requests
+        self.warmup = warmup
+        self.completed = 0
+        self.latency_sum = 0.0
+        self.first_timed_start = None
+        self.last_completion = None
+        self.done = spawn(sim, self._loop(), name=f"putter:{offset}")
+
+    def _loop(self):
+        for i in range(self.warmup + self.requests):
+            timed = i >= self.warmup
+            start = self.sim.now
+            if timed and self.first_timed_start is None:
+                self.first_timed_start = start
+            key = self.keys[(self.offset + i * self.stride) % len(self.keys)]
+            yield self.kv.put(key, i)
+            if timed:
+                self.completed += 1
+                self.latency_sum += self.sim.now - start
+                self.last_completion = self.sim.now
+
+
+def run_config(num_shards: int, args) -> dict:
+    obs = Observability()
+    env = Environment(config="lan", seed=args.seed, obs=obs)
+    config = GroupConfig(
+        ordering=Ordering.ASYMMETRIC,
+        liveliness=Liveliness.EVENT_DRIVEN,
+        sequencer_hint="s0",
+        suspicion_timeout=10.0,
+        flush_timeout=5.0,
+    )
+    services = env.add_servers(args.members)
+    servers = []
+    for service in services:
+        servers.append(
+            service.serve_sharded("kv", ShardKVServant, num_shards, config=config)
+        )
+        env.run(0.25)
+    env.settle(1.0)
+    for server in servers:
+        if not server.ready.done or not server.provisioned:
+            raise SystemExit(f"sharded service failed to provision: {server!r}")
+
+    clients = env.add_clients(args.clients)
+    kvs = []
+    for service in clients:
+        binding = service.bind_sharded(
+            "kv", num_shards, suspicion_timeout=10.0, flush_timeout=5.0
+        )
+        kvs.append(ShardedKVClient(binding, mode=Mode.FIRST, timeout=60.0))
+        env.run(0.05)
+    env.settle(1.5)
+    for kv in kvs:
+        if not kv.ready.done:
+            raise SystemExit(f"sharded binding failed to bind: {kv.binding!r}")
+
+    keys = build_key_pool(args.keys)
+    total_workers = args.clients * args.workers
+    workers = [
+        PutWorker(
+            env.sim,
+            kvs[w % len(kvs)],
+            keys,
+            stride=total_workers,
+            offset=w,
+            requests=args.requests,
+            warmup=args.warmup,
+        )
+        for w in range(total_workers)
+    ]
+    wall_start = time.process_time()
+    run_until_done(env.sim, [w.done for w in workers], deadline=env.sim.now + 600.0)
+    cpu_s = time.process_time() - wall_start
+
+    completed = sum(w.completed for w in workers)
+    window_start = min(w.first_timed_start for w in workers)
+    window_end = max(w.last_completion for w in workers)
+    window = window_end - window_start
+    mean_latency = sum(w.latency_sum for w in workers) / max(completed, 1)
+    return {
+        "shards": num_shards,
+        "completed": completed,
+        "gc_delivered": obs.metrics.counter_value("gc.delivered"),
+        "window_s": round(window, 6),
+        "ops_per_sec": round(completed / window, 2),
+        "mean_latency_ms": round(mean_latency * 1e3, 3),
+        "cpu_s": round(cpu_s, 3),  # informational; never compared
+    }
+
+
+def measure(args) -> dict:
+    results = {}
+    for num_shards in SHARD_COUNTS:
+        results[str(num_shards)] = run_config(num_shards, args)
+    return results
+
+
+def scaling_failures(results) -> list:
+    """The scaling bars; deterministic, enforced in every mode."""
+    failures = []
+    rates = {n: results[str(n)]["ops_per_sec"] for n in SHARD_COUNTS}
+    for lo, hi in zip(SHARD_COUNTS, SHARD_COUNTS[1:]):
+        if not rates[hi] > rates[lo]:
+            failures.append(
+                f"throughput not monotonic: {hi} shards {rates[hi]:.1f} ops/s "
+                f"<= {lo} shards {rates[lo]:.1f} ops/s"
+            )
+    ratio = rates[SHARD_COUNTS[-1]] / rates[SHARD_COUNTS[0]]
+    if ratio < SCALE_FLOOR:
+        failures.append(
+            f"{SHARD_COUNTS[-1]}-shard speedup {ratio:.2f}x below the "
+            f"{SCALE_FLOOR}x floor over the 1-shard ceiling"
+        )
+    return failures
+
+
+def report(results, args) -> None:
+    base_rate = results[str(SHARD_COUNTS[0])]["ops_per_sec"]
+    rows = [
+        [
+            result["shards"],
+            result["completed"],
+            result["gc_delivered"],
+            result["ops_per_sec"],
+            f"{result['ops_per_sec'] / base_rate:.2f}x",
+            result["mean_latency_ms"],
+            result["cpu_s"],
+        ]
+        for result in (results[str(n)] for n in SHARD_COUNTS)
+    ]
+    emit(
+        format_table(
+            ["shards", "ops", "gc.delivered", "ops/sec", "speedup",
+             "mean lat (ms)", "cpu (s)"],
+            rows,
+            title=(
+                f"Sharding scale-out: {args.members} members, "
+                f"{args.clients} clients x {args.workers} closed-loop writers "
+                f"x {args.requests} puts (lan, seed {args.seed})"
+            ),
+        )
+    )
+
+
+def write_baseline(results, args) -> None:
+    payload = {
+        "benchmark": "sharding-scaleout",
+        "workload": {
+            "topology": "lan",
+            "members": args.members,
+            "clients": args.clients,
+            "workers": args.workers,
+            "requests": args.requests,
+            "warmup": args.warmup,
+            "keys": args.keys,
+            "seed": args.seed,
+        },
+        "results": {
+            shard_count: {k: v for k, v in result.items() if k != "cpu_s"}
+            for shard_count, result in results.items()
+        },
+        "speedup_4_shards": round(
+            results["4"]["ops_per_sec"] / results["1"]["ops_per_sec"], 3
+        ),
+    }
+    with open(args.baseline, "w", encoding="utf-8") as fp:
+        json.dump(payload, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+    print(f"baseline written to {args.baseline}")
+
+
+def check(results, args) -> int:
+    """CI gate: scaling bars plus exact behaviour match vs the baseline."""
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as fp:
+            baseline = json.load(fp)
+    except OSError as exc:
+        print(f"FAIL cannot read baseline {args.baseline!r}: {exc}")
+        return 1
+    failures = list(scaling_failures(results))
+    for shard_count, base in baseline["results"].items():
+        result = results.get(shard_count)
+        if result is None:
+            failures.append(f"no result for {shard_count} shard(s)")
+            continue
+        # the sweep is deterministic in virtual time: every behaviour field
+        # must match exactly, or the protocol changed underneath the bench
+        for key in ("completed", "gc_delivered", "window_s", "ops_per_sec"):
+            if result[key] != base[key]:
+                failures.append(
+                    f"{shard_count} shard(s) {key}: {result[key]} vs baseline "
+                    f"{base[key]} (regenerate BENCH_shard.json if the "
+                    "protocol legitimately changed)"
+                )
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}")
+        return 1
+    rates = " -> ".join(
+        f"{results[str(n)]['ops_per_sec']:.0f}" for n in SHARD_COUNTS
+    )
+    print(
+        f"ok ops/sec {rates} over {SHARD_COUNTS} shards; "
+        f"4-shard speedup {results['4']['ops_per_sec'] / results['1']['ops_per_sec']:.2f}x "
+        f"(floor {SCALE_FLOOR}x); behaviour matches baseline exactly"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--members", type=int, default=8)
+    parser.add_argument("--clients", type=int, default=4, help="client nodes")
+    parser.add_argument("--workers", type=int, default=4, help="writers per client")
+    parser.add_argument("--requests", type=int, default=60, help="timed puts per writer")
+    parser.add_argument("--warmup", type=int, default=5, help="untimed puts per writer")
+    parser.add_argument("--keys", type=int, default=64, help="key pool size")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE,
+        help="baseline JSON path (default: repo-root BENCH_shard.json)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="CI mode: compare against the baseline instead of rewriting it",
+    )
+    args = parser.parse_args(argv)
+
+    results = measure(args)
+    report(results, args)
+    if args.check:
+        return check(results, args)
+    failures = scaling_failures(results)
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}")
+        return 1
+    write_baseline(results, args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

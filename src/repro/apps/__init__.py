@@ -9,6 +9,7 @@
 from repro.apps.chat import ChatMember, PAYLOAD_CHARS, make_peer_config
 from repro.apps.kvstore import KVStoreServant
 from repro.apps.randserver import RandomNumberServant
+from repro.apps.sharded_kvstore import ShardedKVClient, ShardKVServant
 from repro.apps.transactions import (
     Transaction,
     TransactionClient,
@@ -20,6 +21,8 @@ from repro.apps.whiteboard import WhiteboardMember
 __all__ = [
     "RandomNumberServant",
     "KVStoreServant",
+    "ShardKVServant",
+    "ShardedKVClient",
     "ChatMember",
     "WhiteboardMember",
     "make_peer_config",

@@ -119,6 +119,7 @@ class GroupBinding:
         ordering_config: Optional[OrderingConfig] = None,
         retry_policy: Optional[RetryPolicy] = None,
         trace_sample: Optional[float] = None,
+        metric_tag: Optional[str] = None,
     ):
         if style not in BindingStyle.ALL_STYLES:
             raise ValueError(f"unknown binding style {style!r}")
@@ -145,6 +146,9 @@ class GroupBinding:
         )
         #: per-binding head-sampling override (None: the tracer's configured rate)
         self.trace_sample = trace_sample
+        #: extra metrics dimension (the shard layer tags each sub-binding so
+        #: latency/phase histograms and spans are attributable per shard)
+        self.metric_tag = metric_tag
 
         obs = service.sim.obs
         self._tracer = obs.tracer
@@ -153,6 +157,17 @@ class GroupBinding:
             name: obs.metrics.histogram(f"inv.phase.{name}") for name in PHASE_NAMES
         }
         self._latency_hist = obs.metrics.histogram("client.invoke_latency")
+        if metric_tag is not None:
+            self._tag_latency_hist = obs.metrics.histogram(
+                f"shard.invoke_latency.{metric_tag}"
+            )
+            self._tag_phase_hists = {
+                name: obs.metrics.histogram(f"shard.phase.{name}.{metric_tag}")
+                for name in PHASE_NAMES
+            }
+        else:
+            self._tag_latency_hist = None
+            self._tag_phase_hists = None
         self._invocations_counter = obs.metrics.counter("client.invocations")
         self._rebind_counter = obs.metrics.counter("client.rebinds")
         self._timeout_counter = obs.metrics.counter("client.timeouts")
@@ -312,19 +327,22 @@ class GroupBinding:
             # explicit parent=None: every client invocation is its own trace
             # root; everything it causes (multicast, forwarding, execution,
             # replies) hangs off this span
+            attrs = {
+                "service": self.service_name,
+                "operation": operation,
+                "style": self.style,
+                "mode": mode,
+                "call_no": call_no,
+            }
+            if self.metric_tag is not None:
+                attrs["shard"] = self.metric_tag
             pending.span = self._tracer.start_span(
                 "invoke",
                 kind="client",
                 node=self.client_id,
                 parent=None,
                 sample_rate=self.trace_sample,
-                attrs={
-                    "service": self.service_name,
-                    "operation": operation,
-                    "style": self.style,
-                    "mode": mode,
-                    "call_no": call_no,
-                },
+                attrs=attrs,
             )
         if mode == Mode.ONE_WAY:
             if self._bound:
@@ -391,7 +409,10 @@ class GroupBinding:
     def _finish_invoke(self, pending: _PendingCall, fut: Future) -> None:
         call_id = (self.client_id, pending.call_no)
         if not fut.failed:
-            self._latency_hist.record(self.sim.now - pending.sent_at)
+            latency = self.sim.now - pending.sent_at
+            self._latency_hist.record(latency)
+            if self._tag_latency_hist is not None:
+                self._tag_latency_hist.record(latency)
             result = fut.result()
             # the completing member: the reply whose arrival satisfied the
             # invocation mode is the last one gathered (insertion order)
@@ -399,8 +420,11 @@ class GroupBinding:
             phases = self._phases.finish(call_id, completing)
             if phases is not None:
                 hists = self._phase_hists
+                tag_hists = self._tag_phase_hists
                 for name, value in phases.items():
                     hists[name].record(value)
+                    if tag_hists is not None:
+                        tag_hists[name].record(value)
         else:
             self._phases.discard(call_id)
         self._tracer.end_span(

@@ -119,6 +119,62 @@ class NewTopService:
         lookup.add_done_callback(on_lookup)
         return server
 
+    def serve_sharded(
+        self,
+        service_name: str,
+        servant_factory: Any,
+        num_shards: int,
+        layout: Any = "round_robin",
+        min_members_per_shard: int = 1,
+        policy: str = ReplicationPolicy.ACTIVE,
+        config: Optional[GroupConfig] = None,
+        async_forwarding: bool = False,
+        create: Optional[bool] = None,
+        contact: Optional[str] = None,
+    ):
+        """Host a member of the *sharded* service ``service_name``.
+
+        The parent membership is partitioned into ``num_shards`` shard
+        groups by ``layout`` (a name from :data:`repro.shard.layout.LAYOUTS`
+        or a callable); this node hosts a fresh ``servant_factory()`` servant
+        for every shard the layout assigns it.  Discovery semantics mirror
+        :meth:`serve`.  Await ``server.ready`` (parent membership), then
+        check ``server.provisioned``.
+        """
+        from repro.shard.server import ShardedServer  # local: avoid cycle
+
+        if service_name in self.servers:
+            raise GroupError(f"{self.name} already serves {service_name!r}")
+        server = ShardedServer(
+            self,
+            service_name,
+            servant_factory,
+            num_shards,
+            layout=layout,
+            min_members_per_shard=min_members_per_shard,
+            policy=policy,
+            config=config,
+            async_forwarding=async_forwarding,
+        )
+        self.servers[service_name] = server
+        if create is True or (create is None and self.registry is None):
+            server.start_as_creator()
+            return server
+        if contact is not None:
+            server.start_as_joiner(contact)
+            return server
+        lookup = self.registry.lookup(service_name)
+
+        def on_lookup(fut: Future) -> None:
+            if fut.failed:
+                server.start_as_creator()
+            else:
+                members = self.registry.members_of(fut.result())
+                server.start_as_joiner(members[0])
+
+        lookup.add_done_callback(on_lookup)
+        return server
+
     # ------------------------------------------------------------------
     # client side
     # ------------------------------------------------------------------
@@ -157,6 +213,21 @@ class NewTopService:
             retry_policy=retry_policy,
             trace_sample=trace_sample,
         )
+
+    def bind_sharded(
+        self,
+        service_name: str,
+        num_shards: int,
+        **binding_kwargs: Any,
+    ):
+        """Bind to a sharded service: one sub-binding per shard, key-routed
+        invocation and scatter/gather on top.  Await ``binding.ready``.
+        Keyword arguments are passed through to each per-shard
+        :meth:`bind`-style :class:`~repro.core.client.GroupBinding`.
+        """
+        from repro.shard.binding import ShardedBinding  # local: avoid cycle
+
+        return ShardedBinding(self, service_name, num_shards, **binding_kwargs)
 
     def bind_group_to_group(
         self,

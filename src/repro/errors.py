@@ -13,6 +13,7 @@ __all__ = [
     "BindingBroken",
     "NoQuorum",
     "InvocationAborted",
+    "ProvisioningError",
 ]
 
 
@@ -58,3 +59,8 @@ class NoQuorum(GroupError):
 
 class InvocationAborted(GroupError):
     """A pending group invocation was abandoned (e.g. group disbanded)."""
+
+
+class ProvisioningError(GroupError):
+    """A shard layout cannot be satisfied by the current parent membership
+    (e.g. fewer members than ``min_members_per_shard`` requires)."""

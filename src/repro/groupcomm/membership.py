@@ -269,10 +269,13 @@ class MembershipEngine:
             [(v, s, g) for (s, g), v in tickets.items()],
         )
         # inform survivors, joiners, and voluntary leavers (so they can close)
-        targets = set(self._proposed) | (self.pending_remove & set(session.view.members))
-        targets.discard(session.member_id)
-        for member in targets:
-            session.service.send_protocol(member, install)
+        # — in proposed (view) order, then leavers: the send order shapes the
+        # downstream event schedule, so it must not depend on set hashing
+        proposed = set(self._proposed)
+        leavers = sorted(self.pending_remove & set(session.view.members) - proposed)
+        for member in list(self._proposed) + leavers:
+            if member != session.member_id:
+                session.service.send_protocol(member, install)
         # reset coordinator state before applying our own install
         self.coordinating = False
         self.pending_add -= set(new_view.members)

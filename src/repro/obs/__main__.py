@@ -11,6 +11,10 @@ live simulator needed (see docs/OBSERVABILITY.md):
   print the window delta as the usual aligned table.
 - ``flight REPORT.json``        re-render the causally-ordered flight
   recorder excerpt a failing scenario report carries.
+
+Sharded runs tag their artefacts: invoke spans carry a ``shard`` attr
+(``timeline --attr shard=s1``) and flight events belong to shard-named
+groups (``flight --shard 1`` / ``--group kv#1``).
 """
 
 from __future__ import annotations
@@ -30,12 +34,35 @@ from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import diff_snapshots
 
 
+def _parse_attr_filters(pairs: List[str]) -> List[tuple]:
+    filters = []
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--attr expects key=value, got {pair!r}")
+        filters.append((key, value))
+    return filters
+
+
 def cmd_timeline(args) -> int:
     records = read_jsonl(args.trace_file)
     if args.trace is not None:
         records = [r for r in records if str(r.get("trace")) == args.trace]
         if not records:
             print(f"no spans with trace id {args.trace!r}", file=sys.stderr)
+            return 1
+    for key, value in _parse_attr_filters(args.attr):
+        # keep whole trace trees: a trace qualifies when any of its spans
+        # carries the attribute (attrs live on the root invoke span, its
+        # children would otherwise be orphaned)
+        keep = {
+            r.get("trace")
+            for r in records
+            if str((r.get("attrs") or {}).get(key)) == value
+        }
+        records = [r for r in records if r.get("trace") in keep]
+        if not records:
+            print(f"no spans with attr {key}={value}", file=sys.stderr)
             return 1
     if not records:
         print("no spans in trace file", file=sys.stderr)
@@ -99,6 +126,25 @@ def cmd_diff(args) -> int:
     return 0
 
 
+def _shard_of_flight_group(group: str) -> "int | None":
+    """The shard number a flight event's group belongs to, if any.
+
+    Shard groups are ``svc:{name}#{n}`` (server side) and
+    ``cs:{client}:{name}#{n}:{epoch}`` (client-server side).
+    """
+    parts = group.split(":")
+    if len(parts) == 2 and parts[0] == "svc":
+        name = parts[1]
+    elif len(parts) == 4 and parts[0] == "cs":
+        name = parts[2]
+    else:
+        return None
+    base, sep, suffix = name.rpartition("#")
+    if not sep or not base or not suffix.isdigit():
+        return None
+    return int(suffix)
+
+
 def cmd_flight(args) -> int:
     with open(args.report, "r", encoding="utf-8") as fp:
         report = json.load(fp)
@@ -111,6 +157,20 @@ def cmd_flight(args) -> int:
             "no flight_recorder section (the report passed, or predates it)",
             file=sys.stderr,
         )
+        return 1
+    total = len(excerpt)
+    if args.group is not None:
+        excerpt = [ev for ev in excerpt if args.group in ev.get("group", "")]
+    if args.shard is not None:
+        excerpt = [
+            ev
+            for ev in excerpt
+            if _shard_of_flight_group(ev.get("group", "")) == args.shard
+        ]
+    if args.node is not None:
+        excerpt = [ev for ev in excerpt if ev.get("node") == args.node]
+    if not excerpt:
+        print(f"no events match the filters ({total} recorded)", file=sys.stderr)
         return 1
     print(FlightRecorder.render_excerpt(excerpt))
     return 0
@@ -126,6 +186,14 @@ def main(argv=None) -> int:
     p = sub.add_parser("timeline", help="render a span JSONL file as a timeline")
     p.add_argument("trace_file", help="JSONL trace (from --trace or dump_trace)")
     p.add_argument("--trace", default=None, help="restrict to one trace id")
+    p.add_argument(
+        "--attr",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="keep only traces with a span carrying this attribute "
+        "(repeatable; e.g. --attr shard=s1)",
+    )
     p.set_defaults(fn=cmd_timeline)
 
     p = sub.add_parser("top", help="hot spans by aggregate duration")
@@ -140,6 +208,14 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("flight", help="render a report's flight recorder excerpt")
     p.add_argument("report", help="scenario report JSON with a flight_recorder section")
+    p.add_argument("--group", default=None, help="keep events whose group contains this")
+    p.add_argument(
+        "--shard",
+        type=int,
+        default=None,
+        help="keep events belonging to this shard's groups (svc#N / its cs groups)",
+    )
+    p.add_argument("--node", default=None, help="keep one node's events")
     p.set_defaults(fn=cmd_flight)
 
     args = parser.parse_args(argv)

@@ -12,6 +12,7 @@ two runs of the same spec are byte-identical — except for the single
 
 from __future__ import annotations
 
+import itertools
 import time
 from typing import Callable, Dict, List, Optional
 
@@ -20,11 +21,13 @@ from repro.bench.stats import summarize
 from repro.bench.workloads import PeerTracker, run_until_done
 from repro.apps.chat import make_peer_config
 from repro.apps.randserver import RandomNumberServant
+from repro.apps.sharded_kvstore import ShardKVServant, ShardedKVClient
 from repro.core.modes import BindingStyle
 from repro.groupcomm.config import GroupConfig, Liveliness
 from repro.obs import Observability
 from repro.obs.phases import PHASE_NAMES
 from repro.recovery import RecoveryManager, convergence_status
+from repro.shard import sharded_convergence_status
 from repro.scenario.arrivals import arrival_process_from_spec
 from repro.scenario.faults import FaultSchedule
 from repro.scenario.slo import SloContext, build_slos, evaluate_slos
@@ -69,6 +72,9 @@ def run_scenario(source, obs=None) -> Dict:
     if spec.traffic.workload == "peer":
         issuers, resolve_target = _setup_peer(env, spec)
         recovery = None  # peer groups have no server-side state to restore
+    elif spec.traffic.workload == "sharded_kvstore":
+        issuers, resolve_target = _setup_sharded(env, spec)
+        recovery = RecoveryManager(sim, env.net, env.services, SERVICE_NAME)
     else:
         issuers, resolve_target = _setup_request_reply(env, spec)
         recovery = RecoveryManager(sim, env.net, env.services, SERVICE_NAME)
@@ -107,7 +113,12 @@ def run_scenario(source, obs=None) -> Dict:
     convergence = None
     if recovery is not None:
         sim.run(until=sim.now + CONVERGENCE_GRACE)
-        convergence = convergence_status(env.services, SERVICE_NAME, env.net)
+        if spec.traffic.workload == "sharded_kvstore":
+            convergence = sharded_convergence_status(
+                env.services, SERVICE_NAME, env.net
+            )
+        else:
+            convergence = convergence_status(env.services, SERVICE_NAME, env.net)
         sim.obs.metrics.counter("scenario.convergence.checks").inc()
         if not convergence["converged"]:
             sim.obs.metrics.counter("scenario.convergence.failures").inc()
@@ -170,7 +181,10 @@ def run_scenario(source, obs=None) -> Dict:
                 name: value
                 for name, value in counters.items()
                 if name.split(".", 1)[0]
-                in ("gc", "net", "client", "server", "scenario", "recovery", "obs")
+                in (
+                    "gc", "net", "client", "server", "scenario", "recovery",
+                    "obs", "shard",
+                )
             },
             "histograms": {
                 name: histograms[name]
@@ -180,6 +194,7 @@ def run_scenario(source, obs=None) -> Dict:
                     "recovery.time",
                     "client.invoke_latency",
                     *(f"inv.phase.{n}" for n in PHASE_NAMES),
+                    *sorted(n for n in histograms if n.startswith("shard.")),
                 )
                 if name in histograms
             },
@@ -264,6 +279,98 @@ def _setup_request_reply(env: Environment, spec: ScenarioSpec):
     def resolve_target(name: str) -> str:
         if name == "manager":
             manager = bindings[0].manager
+            return manager if manager else "s0"
+        return name
+
+    return issuers, resolve_target
+
+
+def _setup_sharded(env: Environment, spec: ScenarioSpec):
+    """A sharded kvstore: key-routed puts/gets plus scatter mget batches.
+
+    ``traffic.operation`` selects the single-key mix: ``"put"`` (all
+    writes), ``"get"`` (all reads), anything else = 50/50.  The
+    ``traffic.keys`` sampler decides per arrival whether the request is a
+    multi-key batch (an ``mget`` scatter over only the addressed shards).
+    """
+    sim = env.sim
+    group = spec.group
+    traffic = spec.traffic
+    services = env.add_servers(group.replicas)
+    servers = []
+    for service in services:
+        servers.append(
+            service.serve_sharded(
+                SERVICE_NAME,
+                ShardKVServant,
+                group.shards,
+                layout=group.layout,
+                min_members_per_shard=group.min_members_per_shard,
+                policy=group.policy,
+                config=_group_config(spec, "s0"),
+                async_forwarding=group.async_forwarding,
+            )
+        )
+        env.run(0.25)
+    env.settle(max(spec.settle, 1.0))
+    for server in servers:
+        if not server.ready.done:
+            raise ScenarioError(f"sharded replica failed to start: {server!r}")
+        if not server.provisioned:
+            raise ScenarioError(
+                f"sharded service unprovisioned on {server.member_id}: "
+                f"{group.replicas} replica(s) cannot fill {group.shards} "
+                f"shard(s) of >= {group.min_members_per_shard}"
+            )
+    clients = env.add_clients(traffic.bindings)
+    retry_policy = group.build_retry_policy()
+    kv_clients = []
+    for service in clients:
+        binding = service.bind_sharded(
+            SERVICE_NAME,
+            group.shards,
+            style=group.style,
+            ordering=group.ordering,
+            liveliness=group.liveliness,
+            restricted=group.restricted,
+            suspicion_timeout=group.suspicion_timeout,
+            flush_timeout=group.flush_timeout,
+            retry_policy=retry_policy,
+        )
+        kv_clients.append(
+            ShardedKVClient(binding, mode=traffic.mode, timeout=traffic.timeout)
+        )
+        env.run(0.05)
+    env.settle(max(spec.settle, 0.5))
+    for client in kv_clients:
+        if not client.ready.done:
+            raise ScenarioError(
+                f"sharded binding failed to become ready: {client.binding!r}"
+            )
+
+    sampler = traffic.build_key_sampler(rng=sim.rng("scenario.keys"))
+    operation = traffic.operation
+    mix_rng = sim.rng("scenario.sharded_ops")
+    values = itertools.count()
+
+    def issuer_for(client: ShardedKVClient) -> Callable[[], Future]:
+        def issue() -> Future:
+            if sampler.is_multi():
+                return client.mget(sampler.batch())
+            key = sampler.key()
+            if operation == "put" or (
+                operation != "get" and mix_rng.random() < 0.5
+            ):
+                return client.put(key, next(values))
+            return client.get(key)
+
+        return issue
+
+    issuers = [issuer_for(client) for client in kv_clients]
+
+    def resolve_target(name: str) -> str:
+        if name == "manager":  # shard 0's sequencer
+            manager = kv_clients[0].binding.binding(0).manager
             return manager if manager else "s0"
         return name
 

@@ -26,7 +26,7 @@ from repro.scenario.slo import build_slos
 __all__ = ["GroupSpec", "ChurnSpec", "TrafficSpec", "ScenarioSpec", "load_spec"]
 
 TOPOLOGIES = ("lan", "mixed", "wan")
-WORKLOADS = ("request_reply", "peer")
+WORKLOADS = ("request_reply", "peer", "sharded_kvstore")
 
 
 def _check_keys(section: str, data: Dict, allowed: Sequence[str]) -> None:
@@ -61,17 +61,39 @@ class GroupSpec:
     ordering_config: Dict = field(default_factory=dict)
     retry: Dict = field(default_factory=dict)
     trace: Dict = field(default_factory=dict)
+    #: 0 = unsharded (flat group, seed behaviour); >= 1 partitions the
+    #: parent membership into that many shard subgroups (repro.shard)
+    shards: int = 0
+    min_members_per_shard: int = 1
+    layout: str = "round_robin"
 
     _FIELDS = (
         "replicas", "style", "ordering", "restricted", "async_forwarding",
         "policy", "liveliness", "suspicion_timeout", "flush_timeout",
         "silence_period", "liveliness_config", "ordering_config", "retry",
-        "trace",
+        "trace", "shards", "min_members_per_shard", "layout",
     )
 
     def __post_init__(self):
         if self.replicas < 1:
             raise ValueError("group.replicas must be >= 1")
+        if self.shards < 0:
+            raise ValueError("group.shards must be >= 0 (0 = unsharded)")
+        if self.min_members_per_shard < 1:
+            raise ValueError("group.min_members_per_shard must be >= 1")
+        if self.shards:
+            from repro.shard.layout import resolve_layout
+
+            try:
+                resolve_layout(self.layout)
+            except ValueError as exc:
+                raise ValueError(f"group.layout: {exc}") from exc
+            if self.replicas < self.shards * self.min_members_per_shard:
+                raise ValueError(
+                    f"group.replicas={self.replicas} cannot provision "
+                    f"{self.shards} shard(s) of >= {self.min_members_per_shard} "
+                    f"member(s)"
+                )
         _check_choice("group", "style", self.style, BindingStyle.ALL_STYLES)
         _check_choice("group", "ordering", self.ordering, Ordering.ALL)
         _check_choice("group", "policy", self.policy, ReplicationPolicy.ALL_POLICIES)
@@ -182,10 +204,14 @@ class TrafficSpec:
     bindings: int = 2
     max_in_flight: Optional[int] = None
     payload_chars: int = 100
+    #: key-popularity model for keyed workloads (KeySampler spec: space,
+    #: distribution uniform|zipf, alpha, multi_fraction, multi_size)
+    keys: Dict = field(default_factory=dict)
 
     _FIELDS = (
         "arrivals", "churn", "duration", "drain", "workload", "operation",
         "mode", "timeout", "bindings", "max_in_flight", "payload_chars",
+        "keys",
     )
 
     def __post_init__(self):
@@ -200,6 +226,20 @@ class TrafficSpec:
             raise ValueError("traffic.timeout must be > 0")
         if self.bindings < 1:
             raise ValueError("traffic.bindings must be >= 1")
+        self.build_key_sampler()  # validate eagerly
+
+    def build_key_sampler(self, rng=None):
+        """The keyed-workload sampler (None when no ``keys`` section)."""
+        from repro.scenario.traffic import KeySampler
+
+        if not isinstance(self.keys, dict):
+            raise ValueError("traffic.keys must be an object")
+        if not self.keys and self.workload != "sharded_kvstore":
+            return None
+        try:
+            return KeySampler.from_spec(self.keys, rng=rng)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"traffic.keys: {exc}") from exc
 
     @classmethod
     def from_dict(cls, data: Dict) -> "TrafficSpec":
@@ -243,6 +283,10 @@ class ScenarioSpec:
         if self.settle < 0:
             raise ValueError("scenario.settle must be >= 0")
         build_slos(self.slos)  # validate eagerly
+        if self.traffic.workload == "sharded_kvstore" and self.group.shards < 1:
+            raise ValueError(
+                "traffic.workload 'sharded_kvstore' requires group.shards >= 1"
+            )
         for fault in self.faults:
             if fault.at > self.traffic.duration + self.traffic.drain:
                 raise ValueError(

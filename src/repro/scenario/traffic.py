@@ -15,12 +15,111 @@ deterministically as the generator queries the live size.
 
 from __future__ import annotations
 
+import bisect
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.scenario.arrivals import ArrivalProcess, next_arrival
 from repro.sim import Future, Simulator, sleep, spawn
 
-__all__ = ["Population", "OpenLoopGenerator", "TrafficStats"]
+__all__ = ["Population", "OpenLoopGenerator", "TrafficStats", "KeySampler"]
+
+
+class KeySampler:
+    """Key-popularity model for keyed workloads (sharded kvstore, topics).
+
+    Draws keys ``k0 … k{space-1}`` either uniformly or Zipf-skewed
+    (popularity of rank ``r`` ∝ ``1 / r**alpha`` — the classic hot-key
+    model), and decides per arrival whether the request is a multi-key
+    batch (``multi_fraction``) of ``multi_size`` distinct keys.  All draws
+    come from the injected named-stream RNG, so runs stay deterministic.
+    """
+
+    DISTRIBUTIONS = ("uniform", "zipf")
+    _FIELDS = ("space", "distribution", "alpha", "multi_fraction", "multi_size")
+
+    def __init__(
+        self,
+        space: int = 64,
+        distribution: str = "uniform",
+        alpha: float = 1.1,
+        multi_fraction: float = 0.0,
+        multi_size: int = 4,
+        rng=None,
+    ):
+        if space < 1:
+            raise ValueError("keys.space must be >= 1")
+        if distribution not in self.DISTRIBUTIONS:
+            raise ValueError(
+                f"keys.distribution must be one of {self.DISTRIBUTIONS}, "
+                f"got {distribution!r}"
+            )
+        if distribution == "zipf" and alpha <= 0:
+            raise ValueError("keys.alpha must be > 0 for zipf")
+        if not 0.0 <= multi_fraction <= 1.0:
+            raise ValueError("keys.multi_fraction must be in [0, 1]")
+        if multi_size < 1:
+            raise ValueError("keys.multi_size must be >= 1")
+        self.space = int(space)
+        self.distribution = distribution
+        self.alpha = float(alpha)
+        self.multi_fraction = float(multi_fraction)
+        self.multi_size = int(multi_size)
+        self._rng = rng
+        self._cumulative: Optional[List[float]] = None
+        if distribution == "zipf":
+            weights = [1.0 / (rank**self.alpha) for rank in range(1, self.space + 1)]
+            total = 0.0
+            self._cumulative = []
+            for weight in weights:
+                total += weight
+                self._cumulative.append(total)
+
+    @classmethod
+    def from_spec(cls, spec: Dict, rng=None) -> "KeySampler":
+        """Build from a traffic-spec ``keys`` object; unknown keys fail."""
+        if not isinstance(spec, dict):
+            raise ValueError("traffic.keys must be an object")
+        unknown = set(spec) - set(cls._FIELDS)
+        if unknown:
+            raise ValueError(
+                f"traffic.keys has unknown keys {sorted(unknown)}; "
+                f"allowed: {sorted(cls._FIELDS)}"
+            )
+        return cls(rng=rng, **spec)
+
+    def _rank(self) -> int:
+        if self._cumulative is None:
+            return self._rng.randrange(self.space)
+        point = self._rng.random() * self._cumulative[-1]
+        return bisect.bisect_left(self._cumulative, point)
+
+    def key(self) -> str:
+        """One key draw (``k{rank}``; the hash router spreads ranks)."""
+        return f"k{self._rank()}"
+
+    def batch(self) -> List[str]:
+        """``multi_size`` *distinct* keys (capped by the key space)."""
+        wanted = min(self.multi_size, self.space)
+        chosen: List[str] = []
+        seen = set()
+        while len(chosen) < wanted:
+            key = self.key()
+            if key not in seen:
+                seen.add(key)
+                chosen.append(key)
+        return chosen
+
+    def is_multi(self) -> bool:
+        return self.multi_fraction > 0 and self._rng.random() < self.multi_fraction
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "space": self.space,
+            "distribution": self.distribution,
+            "alpha": self.alpha if self.distribution == "zipf" else None,
+            "multi_fraction": self.multi_fraction,
+            "multi_size": self.multi_size,
+        }
 
 
 class Population:

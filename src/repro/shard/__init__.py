@@ -1,0 +1,34 @@
+"""Sharded subgroups: one parent membership partitioned into N shard
+groups, each with its own ordering session, plus shard-aware routing.
+
+See DESIGN.md ("Sharded subgroups") for the architecture and
+:mod:`repro.shard.layout` for the layout-callback contract.
+"""
+
+from repro.shard.binding import ShardedBinding
+from repro.shard.convergence import sharded_convergence_status
+from repro.shard.layout import (
+    LAYOUTS,
+    ProvisioningError,
+    key_to_shard,
+    rendezvous,
+    resolve_layout,
+    round_robin,
+    shard_service_name,
+    validate_assignment,
+)
+from repro.shard.server import ShardedServer
+
+__all__ = [
+    "ShardedBinding",
+    "ShardedServer",
+    "sharded_convergence_status",
+    "ProvisioningError",
+    "LAYOUTS",
+    "round_robin",
+    "rendezvous",
+    "resolve_layout",
+    "key_to_shard",
+    "shard_service_name",
+    "validate_assignment",
+]

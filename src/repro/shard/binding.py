@@ -1,0 +1,323 @@
+"""Client side of sharded subgroups: shard-aware invocation routing.
+
+A :class:`ShardedBinding` holds one ordinary
+:class:`~repro.core.client.GroupBinding` per shard sub-service
+(``svc#0`` … ``svc#N-1``) and routes on top of them:
+
+- **single-key calls** hash the key to one shard
+  (:func:`~repro.shard.layout.key_to_shard`) and invoke only that
+  sub-binding — the majority/first/all reply modes are therefore computed
+  against the *shard's* view size, and no other shard sees any protocol
+  traffic (FlexCast's genuineness property, asserted by the invariant
+  suite);
+- **multi-key calls** scatter: keys are grouped by shard, one invocation
+  goes to each *addressed* shard only, and the per-shard results gather
+  into one mapping.
+
+Stale-routing fix: after a shard re-layout every member a sub-binding knew
+may have handed the shard off.  The sub-binding's own rebind retries the
+*remembered* membership first and gives up with
+:class:`~repro.errors.BindingBroken` once nobody it knows survives; the
+sharded layer then *remaps* — it discards the stale sub-binding entirely
+and builds a fresh one, whose registry lookup re-resolves the shard's
+current membership — rather than retrying the stale shard's sequencer
+forever.  Remaps are bounded and jitter-backed like rebinds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.client import GroupBinding, InvocationResult
+from repro.core.modes import Mode
+from repro.errors import ApplicationError, BindingBroken
+from repro.recovery.policy import backoff_delay
+from repro.shard.layout import key_to_shard, shard_service_name
+from repro.sim.futures import Future
+from repro.sim.process import all_of
+
+__all__ = ["ShardedBinding"]
+
+
+class ShardedBinding:
+    """A client's binding to one sharded service (one sub-binding per shard)."""
+
+    #: bounded remap attempts after a sub-binding breaks, and the jittered
+    #: backoff envelope between them (fresh lookup each time — the shard's
+    #: new members advertise as soon as their first view installs)
+    REMAP_ATTEMPTS = 4
+    REMAP_BASE_DELAY = 0.3
+    REMAP_BACKOFF_FACTOR = 2.0
+    REMAP_MAX_DELAY = 2.0
+    REMAP_JITTER = 0.5
+
+    def __init__(
+        self,
+        service,
+        service_name: str,
+        num_shards: int,
+        **binding_kwargs: Any,
+    ):
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.service = service
+        self.sim = service.sim
+        self.client_id = service.orb.node.name
+        self.service_name = service_name
+        self.num_shards = num_shards
+        self._binding_kwargs = dict(binding_kwargs)
+        self._closed = False
+
+        obs = service.sim.obs
+        self._remap_counter = obs.metrics.counter("shard.client.remaps")
+        self._scatter_counter = obs.metrics.counter("shard.client.scatters")
+        self._fanout_hist = obs.metrics.histogram("shard.scatter.fanout")
+        self._remap_rng = service.sim.rng(f"shard.remap.{self.client_id}")
+
+        self._bindings: List[GroupBinding] = [
+            self._make_binding(shard_no) for shard_no in range(num_shards)
+        ]
+        self.ready = Future(name=f"sharded-bound:{service_name}@{self.client_id}")
+        all_of([b.ready for b in self._bindings]).add_done_callback(
+            lambda f: self.ready.try_fail(f.exception)
+            if f.failed
+            else self.ready.try_resolve(self)
+        )
+
+    def _make_binding(self, shard_no: int) -> GroupBinding:
+        return GroupBinding(
+            self.service,
+            shard_service_name(self.service_name, shard_no),
+            metric_tag=f"s{shard_no}",
+            **self._binding_kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def shard_of(self, key: Any) -> int:
+        return key_to_shard(key, self.num_shards)
+
+    def binding(self, shard_no: int) -> GroupBinding:
+        return self._bindings[shard_no]
+
+    def group_by_shard(self, keys: Iterable[Any]) -> Dict[int, List[Any]]:
+        grouped: Dict[int, List[Any]] = {}
+        for key in keys:
+            grouped.setdefault(self.shard_of(key), []).append(key)
+        return grouped
+
+    # ------------------------------------------------------------------
+    # single-key invocation
+    # ------------------------------------------------------------------
+    def invoke(
+        self,
+        operation: str,
+        args: Tuple = (),
+        key: Any = None,
+        mode: str = Mode.ALL,
+        timeout: Optional[float] = None,
+    ) -> Future:
+        """Invoke on the shard owning ``key`` (shard 0 when ``key`` is None
+        and the service has a single shard).
+
+        Resolves with an :class:`~repro.core.client.InvocationResult` from
+        that shard alone.
+        """
+        if key is None and self.num_shards > 1:
+            raise ValueError("single-key invoke on a sharded binding needs key=")
+        shard_no = 0 if key is None else self.shard_of(key)
+        return self._invoke_on(shard_no, operation, args, mode, timeout)
+
+    def call(
+        self,
+        operation: str,
+        args: Tuple = (),
+        key: Any = None,
+        mode: str = Mode.FIRST,
+        timeout: Optional[float] = None,
+    ) -> Future:
+        """Like :meth:`invoke` but resolves with the first reply *value*."""
+        result = Future(name=f"shard-value:{operation}")
+        inner = self.invoke(operation, args, key=key, mode=mode, timeout=timeout)
+
+        def unwrap(fut: Future) -> None:
+            if fut.failed:
+                result.fail(fut.exception)
+                return
+            outcome = fut.result()
+            try:
+                result.resolve(outcome.value if outcome is not None else None)
+            except Exception as exc:  # noqa: BLE001 - servant error
+                result.fail(exc)
+
+        inner.add_done_callback(unwrap)
+        return result
+
+    # ------------------------------------------------------------------
+    # scatter/gather
+    # ------------------------------------------------------------------
+    def scatter(
+        self,
+        operation: str,
+        keys: Iterable[Any],
+        mode: str = Mode.ALL,
+        timeout: Optional[float] = None,
+        args_for: Optional[Callable[[List[Any]], Tuple]] = None,
+    ) -> Future:
+        """Invoke ``operation`` once on every shard that owns one of ``keys``.
+
+        Only the addressed shards see any traffic.  ``args_for(shard_keys)``
+        builds each shard's argument tuple (default: the key subset as the
+        single argument).  Resolves with ``{shard_no: InvocationResult}``.
+        """
+        grouped = self.group_by_shard(keys)
+        return self._scatter_grouped(grouped, operation, mode, timeout, args_for)
+
+    def invoke_all(
+        self,
+        operation: str,
+        args: Tuple = (),
+        mode: str = Mode.ALL,
+        timeout: Optional[float] = None,
+    ) -> Future:
+        """Invoke ``operation(*args)`` on *every* shard (range reads, scans).
+
+        Resolves with ``{shard_no: InvocationResult}``.
+        """
+        grouped = {shard_no: None for shard_no in range(self.num_shards)}
+        return self._scatter_grouped(
+            grouped, operation, mode, timeout, lambda _keys: tuple(args)
+        )
+
+    def _scatter_grouped(
+        self,
+        grouped: Dict[int, Optional[List[Any]]],
+        operation: str,
+        mode: str,
+        timeout: Optional[float],
+        args_for: Optional[Callable[[List[Any]], Tuple]],
+    ) -> Future:
+        self._scatter_counter.inc()
+        self._fanout_hist.record(len(grouped))
+        shard_nos = sorted(grouped)
+        calls = []
+        for shard_no in shard_nos:
+            shard_keys = grouped[shard_no]
+            args = args_for(shard_keys) if args_for is not None else (shard_keys,)
+            calls.append(self._invoke_on(shard_no, operation, args, mode, timeout))
+        result = Future(name=f"scatter:{operation}@{self.client_id}")
+        all_of(calls).add_done_callback(
+            lambda f: result.try_fail(f.exception)
+            if f.failed
+            else result.try_resolve(dict(zip(shard_nos, f.result())))
+        )
+        return result
+
+    @staticmethod
+    def gather_values(results: Dict[int, InvocationResult]) -> Dict[int, Any]:
+        """First successful value per shard from a scatter result."""
+        gathered: Dict[int, Any] = {}
+        for shard_no, outcome in results.items():
+            if outcome is None:
+                continue
+            try:
+                gathered[shard_no] = outcome.value
+            except ApplicationError:
+                continue
+        return gathered
+
+    # ------------------------------------------------------------------
+    # per-shard invoke with remap-on-broken-binding
+    # ------------------------------------------------------------------
+    def _invoke_on(
+        self,
+        shard_no: int,
+        operation: str,
+        args: Tuple,
+        mode: str,
+        timeout: Optional[float],
+    ) -> Future:
+        result = Future(name=f"shard-call:{operation}#{shard_no}@{self.client_id}")
+        self._attempt(shard_no, operation, args, mode, timeout, 0, result)
+        return result
+
+    def _attempt(
+        self,
+        shard_no: int,
+        operation: str,
+        args: Tuple,
+        mode: str,
+        timeout: Optional[float],
+        attempt: int,
+        result: Future,
+    ) -> None:
+        if self._closed:
+            result.try_fail(BindingBroken("sharded binding closed"))
+            return
+        binding = self._bindings[shard_no]
+        inner = binding.invoke(operation, args, mode=mode, timeout=timeout)
+
+        def on_done(fut: Future) -> None:
+            if not fut.failed:
+                result.try_resolve(fut.result())
+                return
+            exc = fut.exception
+            if (
+                isinstance(exc, BindingBroken)
+                and not self._closed
+                and attempt < self.REMAP_ATTEMPTS
+            ):
+                # every member the sub-binding knew is gone: a re-layout (or
+                # multi-crash) moved the shard.  Remap — fresh binding, fresh
+                # registry lookup — instead of retrying the stale membership.
+                self._remap(shard_no, binding)
+                self.sim.schedule(
+                    self._remap_delay(attempt),
+                    self._attempt,
+                    shard_no,
+                    operation,
+                    args,
+                    mode,
+                    timeout,
+                    attempt + 1,
+                    result,
+                )
+                return
+            result.try_fail(exc)
+
+        inner.add_done_callback(on_done)
+
+    def _remap_delay(self, attempt: int) -> float:
+        return backoff_delay(
+            attempt + 1,
+            self.REMAP_BASE_DELAY,
+            self.REMAP_BACKOFF_FACTOR,
+            self.REMAP_MAX_DELAY,
+            self.REMAP_JITTER,
+            self._remap_rng,
+        )
+
+    def _remap(self, shard_no: int, failed_binding: GroupBinding) -> None:
+        if self._bindings[shard_no] is not failed_binding:
+            return  # a concurrent call on this shard already remapped it
+        self._remap_counter.inc()
+        failed_binding.close()
+        self._bindings[shard_no] = self._make_binding(shard_no)
+
+    # ------------------------------------------------------------------
+    # teardown
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for binding in self._bindings:
+            binding.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "closed" if self._closed else "open"
+        return (
+            f"<ShardedBinding {self.service_name}@{self.client_id} "
+            f"x{self.num_shards} {state}>"
+        )

@@ -1,0 +1,92 @@
+"""Convergence for sharded services: parent membership plus every shard.
+
+A sharded service has converged when the *parent* group has (same
+criteria as :func:`~repro.recovery.convergence.convergence_status` — the
+directory servant is stateless so parent digests are trivially equal),
+every live member is provisioned with the same layout version, and each
+shard sub-service has converged on exactly its assigned members.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.recovery.convergence import convergence_status
+from repro.shard.layout import shard_service_name
+
+__all__ = ["sharded_convergence_status"]
+
+
+def sharded_convergence_status(services, service_name: str, net) -> Dict:
+    """Convergence snapshot for a sharded service (parent + all shards).
+
+    Returns the parent's status dict extended with::
+
+        {"shards": {shard_no: status_dict}, "layout_versions": {member: int},
+         "provisioned": bool, "converged": bool}
+
+    where ``converged`` now also requires every shard's own convergence and
+    an agreed layout.
+    """
+    status = convergence_status(services, service_name, net)
+
+    sharded = [
+        service.servers[service_name]
+        for name, service in services.items()
+        if service_name in getattr(service, "servers", {})
+        and name in status["live"]
+    ]
+    if not sharded:
+        status.update(shards={}, layout_versions={}, provisioned=False)
+        return status
+
+    num_shards = max(server.num_shards for server in sharded)
+    layout_versions = {
+        server.member_id: server.layout_version for server in sharded
+    }
+    provisioned = all(server.provisioned for server in sharded)
+    # layout_version is a per-member change counter (late joiners witness
+    # fewer recomputes), so agreement compares the assignments themselves
+    assignments = {
+        tuple(tuple(a) for a in server.assignment)
+        for server in sharded
+        if server.assignment is not None
+    }
+    layout_agreed = len(assignments) == 1
+
+    shards: Dict[int, Dict] = {}
+    shards_ok = True
+    for shard_no in range(num_shards):
+        shard_status = convergence_status(
+            services, shard_service_name(service_name, shard_no), net
+        )
+        # the shard's members must also be exactly the agreed assignment
+        if provisioned and layout_agreed:
+            assigned = sorted(sharded[0].assignment[shard_no])
+            if shard_status["view"] is not None and sorted(
+                shard_status["view"]
+            ) != assigned:
+                shard_status["converged"] = False
+                shard_status["detail"] = (
+                    f"view {shard_status['view']} != assignment {assigned}"
+                )
+        shards[shard_no] = shard_status
+        shards_ok = shards_ok and shard_status["converged"]
+
+    status["shards"] = shards
+    status["layout_versions"] = layout_versions
+    status["provisioned"] = provisioned
+    status["converged"] = (
+        status["converged"] and provisioned and layout_agreed and shards_ok
+    )
+    if not status["converged"] and status["detail"].startswith(
+        f"{len(status['live'])} members share"
+    ):
+        bad = sorted(n for n, s in shards.items() if not s["converged"])
+        if not provisioned:
+            status["detail"] = "unprovisioned"
+        elif not layout_agreed:
+            status["detail"] = f"layouts diverge: {sorted(assignments)}"
+        else:
+            status["detail"] = f"shards not converged: {bad}"
+    return status

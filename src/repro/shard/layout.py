@@ -1,0 +1,161 @@
+"""Shard layout: partitioning one parent membership into N shard views.
+
+A *layout function* is the user-supplied policy that turns the parent
+group's membership into per-shard member lists (Derecho's
+``SubgroupInfo``/``make_subview`` shape): it is a pure function of the
+sorted member list, so every member recomputes the identical assignment
+on every parent view change without any layout-distribution protocol.
+
+Contract::
+
+    layout_fn(members: Sequence[str], num_shards: int,
+              min_members_per_shard: int) -> List[List[str]]
+
+- ``members`` arrives sorted; the function must be deterministic in it.
+- The result has exactly ``num_shards`` lists; each entry must be a
+  member of ``members``.  Overlapping shards are allowed (a member may
+  serve several shards); the bundled layouts produce disjoint ones.
+- If the membership cannot satisfy the layout (some shard would end up
+  with fewer than ``min_members_per_shard`` members), the function must
+  raise :class:`~repro.errors.ProvisioningError` — the shard layer then
+  keeps the previous assignment (degraded) and retries on the next view
+  change, mirroring Derecho's ``subgroup_provisioning_exception``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, List, Sequence
+
+from repro.errors import ProvisioningError
+
+__all__ = [
+    "ProvisioningError",
+    "round_robin",
+    "rendezvous",
+    "LAYOUTS",
+    "resolve_layout",
+    "key_to_shard",
+    "shard_service_name",
+    "validate_assignment",
+]
+
+LayoutFn = Callable[[Sequence[str], int, int], List[List[str]]]
+
+
+def _check_provisioned(
+    assignment: List[List[str]], min_members_per_shard: int, layout_name: str
+) -> List[List[str]]:
+    for shard_no, assigned in enumerate(assignment):
+        if len(assigned) < min_members_per_shard:
+            raise ProvisioningError(
+                f"{layout_name}: shard {shard_no} has {len(assigned)} member(s), "
+                f"needs {min_members_per_shard}"
+            )
+    return assignment
+
+
+def round_robin(
+    members: Sequence[str], num_shards: int, min_members_per_shard: int = 1
+) -> List[List[str]]:
+    """The default layout: deal the sorted members cyclically over shards.
+
+    Balanced within one member (shard sizes differ by at most one), but a
+    membership change can reshuffle many assignments — the shard layer's
+    retiring-handover keeps state continuous through that.
+    """
+    assignment: List[List[str]] = [[] for _ in range(num_shards)]
+    for index, member in enumerate(sorted(members)):
+        assignment[index % num_shards].append(member)
+    return _check_provisioned(assignment, min_members_per_shard, "round_robin")
+
+
+def rendezvous(
+    members: Sequence[str], num_shards: int, min_members_per_shard: int = 1
+) -> List[List[str]]:
+    """Capacity-bounded rendezvous (highest-random-weight) layout.
+
+    Every (member, shard) pair gets a deterministic hash score; pairs are
+    assigned greedily best-score-first, with per-shard capacity bounded so
+    sizes stay within one of each other.  Compared to :func:`round_robin`
+    a single join/crash moves far fewer incumbents — it exists mostly to
+    demonstrate that the layout callback really is pluggable.
+    """
+    ordered = sorted(members)
+    base, extra = divmod(len(ordered), num_shards)
+    scored = sorted(
+        (
+            (zlib.crc32(f"{member}|{shard_no}".encode()), member, shard_no)
+            for member in ordered
+            for shard_no in range(num_shards)
+        ),
+        key=lambda item: (-item[0], item[1], item[2]),
+    )
+    assignment: List[List[str]] = [[] for _ in range(num_shards)]
+    placed = set()
+    bumped = 0  # shards already grown to base+1 (at most ``extra`` may)
+    for _score, member, shard_no in scored:
+        if member in placed:
+            continue
+        size = len(assignment[shard_no])
+        if size >= base and (size > base or bumped >= extra):
+            continue
+        if size == base:
+            bumped += 1
+        assignment[shard_no].append(member)
+        placed.add(member)
+    for shard in assignment:
+        shard.sort()
+    return _check_provisioned(assignment, min_members_per_shard, "rendezvous")
+
+
+LAYOUTS = {"round_robin": round_robin, "rendezvous": rendezvous}
+
+
+def resolve_layout(layout) -> LayoutFn:
+    """Accept a layout name (from :data:`LAYOUTS`) or a callable."""
+    if callable(layout):
+        return layout
+    fn = LAYOUTS.get(layout)
+    if fn is None:
+        raise ValueError(
+            f"unknown layout {layout!r}; known: {sorted(LAYOUTS)} or a callable"
+        )
+    return fn
+
+
+def validate_assignment(
+    assignment, members: Sequence[str], num_shards: int
+) -> List[List[str]]:
+    """Check a layout function's output against the contract."""
+    if len(assignment) != num_shards:
+        raise ProvisioningError(
+            f"layout returned {len(assignment)} shards, expected {num_shards}"
+        )
+    universe = set(members)
+    for shard_no, assigned in enumerate(assignment):
+        stray = [m for m in assigned if m not in universe]
+        if stray:
+            raise ProvisioningError(
+                f"layout assigned non-members {stray} to shard {shard_no}"
+            )
+        if len(set(assigned)) != len(assigned):
+            raise ProvisioningError(f"layout repeats members in shard {shard_no}")
+    return [list(assigned) for assigned in assignment]
+
+
+def key_to_shard(key, num_shards: int) -> int:
+    """Deterministic key→shard routing (stable across processes and runs,
+    unlike salted ``hash()``)."""
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    return zlib.crc32(str(key).encode()) % num_shards
+
+
+def shard_service_name(service_name: str, shard_no: int) -> str:
+    """The registry/service name of one shard's sub-service (``svc#3``).
+
+    The shard group's gc name is then ``svc:svc#3``, so flight-recorder
+    events and protocol records are shard-attributable by group name.
+    """
+    return f"{service_name}#{shard_no}"

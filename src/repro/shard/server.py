@@ -1,0 +1,451 @@
+"""Server side of sharded subgroups: one parent membership, N shard groups.
+
+A sharded service is one *parent* object group (carrying the service's
+registry identity, failure detection, and crash/rejoin path — all the
+existing :class:`~repro.core.server.ObjectGroupServer` machinery) plus
+``num_shards`` ordinary sub-services named ``svc#0`` … ``svc#N-1``.  Each
+shard sub-service is a full object group of its own — its own sequencer,
+its own flush rounds, its own state transfer and reply caches — so shards
+order and recover independently and a call addressed to one shard causes
+zero protocol work in the others (FlexCast's genuineness property).
+
+On every parent view install, *every* member independently recomputes the
+shard layout (a pure function of the sorted membership, see
+:mod:`repro.shard.layout`) and reconciles its local shard participation:
+
+- newly assigned shards are joined (or created, by the shard's first
+  assigned member) through the registry, riding the server's existing
+  discovery/join/state-transfer path;
+- shards this member no longer serves are *retired*, not dropped: the
+  outgoing member keeps serving until a newly-assigned member has joined
+  the shard's view (so the coordinator's state snapshot has somewhere to
+  land) or a timeout passes, then leaves gracefully.
+
+If the membership cannot satisfy the layout the recompute raises
+:class:`~repro.errors.ProvisioningError`; the previous assignment stays in
+force (degraded) and the next view change retries — so a sharded group is
+simply *unprovisioned* until enough members have joined.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.modes import ReplicationPolicy
+from repro.core.server import ObjectGroupServer
+from repro.errors import GroupError, ProvisioningError
+from repro.groupcomm.config import GroupConfig
+from repro.shard.layout import (
+    resolve_layout,
+    shard_service_name,
+    validate_assignment,
+)
+from repro.sim.futures import Future
+
+__all__ = ["ShardedServer"]
+
+
+class _ShardDirectory:
+    """The parent group's servant: membership bookkeeping only, no state
+    (so the parent-level convergence digest is trivially equal everywhere)."""
+
+    OP_COSTS = {"ping": 5e-6, "describe": 10e-6}
+
+    def __init__(self, owner: "ShardedServer"):
+        self._owner = owner
+
+    def ping(self) -> bool:
+        return True
+
+    def describe(self) -> Dict[str, Any]:
+        return self._owner.describe_layout()
+
+
+class _ParentMember(ObjectGroupServer):
+    """Parent-group member that feeds view installs to the shard layer."""
+
+    def __init__(self, owner: "ShardedServer", *args, **kwargs):
+        self._owner = owner
+        super().__init__(*args, **kwargs)
+
+    def _on_group_view(self, view, joined: List[str], left: List[str]) -> None:
+        super()._on_group_view(view, joined, left)
+        self._owner._on_parent_view(view, joined, left)
+
+
+class _ShardMember(ObjectGroupServer):
+    """One shard sub-service member with registry-driven startup.
+
+    Reuses the rejoin loop (lookup → join with timeout → backoff →
+    re-create after repeatedly empty lookups) for joining an existing
+    shard group; the shard's first assigned member creates it when the
+    registry has no advertisement yet.
+    """
+
+    #: the shard's *anchor* (first assigned member) re-creates the group
+    #: after this many join attempts against advertised-but-unresponsive
+    #: members — the whole-shard-crashed case, where the registry's last
+    #: advertisement names only dead incarnations and would otherwise pin
+    #: the rejoin loop forever
+    ANCHOR_RECREATE_AFTER = 3
+
+    #: kept current by the owner's layout recompute
+    anchor = False
+
+    def start_via_registry(self, is_anchor: bool) -> None:
+        self.anchor = is_anchor
+        if not is_anchor:
+            # the rejoin loop is exactly the robust join-through-registry
+            # path a late shard member needs (including the fallback that
+            # re-creates the group if every advertised member is gone)
+            self._restart_epoch += 1
+            self._rejoin_attempt(0, self._restart_epoch)
+            return
+        lookup = self.service.registry.lookup(self.service_name)
+
+        def on_lookup(fut: Future) -> None:
+            if self.group is not None:
+                return  # superseded (torn down or already started)
+            others = (
+                []
+                if fut.failed
+                else [
+                    m
+                    for m in self.service.registry.members_of(fut.result())
+                    if m != self.member_id
+                ]
+            )
+            if others:
+                # the shard survived a re-layout on other members: join it
+                self._restart_epoch += 1
+                self._rejoin_attempt(0, self._restart_epoch)
+            else:
+                self.start_as_creator()
+
+        lookup.add_done_callback(on_lookup)
+
+    def _on_rejoin_lookup(self, fut: Future, attempt: int, epoch: int) -> None:
+        if (
+            epoch == self._restart_epoch
+            and self.anchor
+            and attempt >= self.ANCHOR_RECREATE_AFTER
+            and not fut.failed
+        ):
+            others = [
+                m
+                for m in self.service.registry.members_of(fut.result())
+                if m != self.member_id
+            ]
+            if others:
+                self._recreate_group()
+                return
+        super()._on_rejoin_lookup(fut, attempt, epoch)
+
+
+class ShardedServer:
+    """One node's participation in a sharded service.
+
+    Exposes the same recovery-facing surface as
+    :class:`~repro.core.server.ObjectGroupServer` (``ready``, ``group``,
+    ``servant``, ``restart()``, ``_rejoin_contact``) delegated to the
+    parent member, so :class:`~repro.recovery.manager.RecoveryManager`
+    and membership-level convergence work unchanged.
+    """
+
+    #: how often a retiring member re-checks whether a successor arrived
+    RETIRE_POLL = 50e-3
+
+    def __init__(
+        self,
+        service,
+        service_name: str,
+        servant_factory: Callable[[], Any],
+        num_shards: int,
+        layout="round_robin",
+        min_members_per_shard: int = 1,
+        policy: str = ReplicationPolicy.ACTIVE,
+        config: Optional[GroupConfig] = None,
+        async_forwarding: bool = False,
+    ):
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if min_members_per_shard < 1:
+            raise ValueError("min_members_per_shard must be >= 1")
+        if not callable(servant_factory):
+            raise ValueError("serve_sharded needs a servant *factory* (one fresh "
+                             "servant per hosted shard), not a servant instance")
+        self.service = service
+        self.sim = service.sim
+        self.member_id = service.name
+        self.service_name = service_name
+        self.servant_factory = servant_factory
+        self.num_shards = num_shards
+        self.layout_fn = resolve_layout(layout)
+        self.min_members_per_shard = min_members_per_shard
+        self.policy = policy
+        self.config = config or GroupConfig(ordering="asymmetric")
+        self.async_forwarding = async_forwarding
+
+        self.parent = _ParentMember(
+            self,
+            service,
+            service_name,
+            _ShardDirectory(self),
+            policy=ReplicationPolicy.ACTIVE,
+            config=self.config,
+        )
+        #: shard_no -> local ObjectGroupServer for shards this member hosts
+        self.shard_servers: Dict[int, ObjectGroupServer] = {}
+        #: the last successfully computed assignment (None = unprovisioned)
+        self.assignment: Optional[List[List[str]]] = None
+        self.layout_version = 0
+        self._retiring: Dict[int, float] = {}  # shard_no -> retire deadline
+
+        obs = service.sim.obs
+        self._flight = obs.flight
+        self._recompute_counter = obs.metrics.counter("shard.layout.recomputes")
+        self._change_counter = obs.metrics.counter("shard.layout.changes")
+        self._provision_counter = obs.metrics.counter("shard.provisioning_failures")
+        self._started_counter = obs.metrics.counter("shard.members.started")
+        self._retired_counter = obs.metrics.counter("shard.members.retired")
+
+    # ------------------------------------------------------------------
+    # recovery-facing surface (delegated to the parent member)
+    # ------------------------------------------------------------------
+    @property
+    def ready(self) -> Future:
+        return self.parent.ready
+
+    @property
+    def group(self):
+        return self.parent.group
+
+    @property
+    def servant(self):
+        return self.parent.servant
+
+    @property
+    def _rejoin_contact(self) -> Optional[str]:
+        return self.parent._rejoin_contact
+
+    @property
+    def provisioned(self) -> bool:
+        return self.assignment is not None
+
+    @property
+    def hosted_shards(self) -> List[int]:
+        return sorted(self.shard_servers)
+
+    def shard_server(self, shard_no: int) -> Optional[ObjectGroupServer]:
+        return self.shard_servers.get(shard_no)
+
+    def describe_layout(self) -> Dict[str, Any]:
+        return {
+            "service": self.service_name,
+            "num_shards": self.num_shards,
+            "layout_version": self.layout_version,
+            "assignment": [list(a) for a in (self.assignment or [])],
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start_as_creator(self) -> None:
+        self.parent.start_as_creator()
+        # the creator's initial view is installed inside create_group, before
+        # callbacks are wired — recompute from the membership directly
+        self._recompute_layout(self.parent.group.members)
+
+    def start_as_joiner(self, contact: str) -> None:
+        self.parent.start_as_joiner(contact)
+
+    def stop(self) -> Future:
+        """Graceful shutdown: leave every hosted shard, then the parent."""
+        for shard_no in list(self.shard_servers):
+            self._finish_retirement(shard_no, graceful=True)
+        self._retiring.clear()
+        return self.parent.stop()
+
+    def restart(self) -> Future:
+        """Crash recovery: tear down the dead incarnation's shard members
+        and rejoin the parent; the rejoined view's layout recompute then
+        re-establishes shard participation (with state transfer from each
+        shard's surviving members)."""
+        for shard_no in list(self.shard_servers):
+            self._teardown_shard(shard_no)
+        self._retiring.clear()
+        self.assignment = None
+        return self.parent.restart()
+
+    # ------------------------------------------------------------------
+    # layout recompute (every parent view install, on every member)
+    # ------------------------------------------------------------------
+    def _on_parent_view(self, view, joined: List[str], left: List[str]) -> None:
+        self._recompute_layout(view.members)
+
+    def _recompute_layout(self, members: Sequence[str]) -> None:
+        self._recompute_counter.inc()
+        ordered = sorted(members)
+        try:
+            assignment = validate_assignment(
+                self.layout_fn(ordered, self.num_shards, self.min_members_per_shard),
+                ordered,
+                self.num_shards,
+            )
+        except ProvisioningError as exc:
+            self._provision_counter.inc()
+            self._flight.record(
+                self.member_id, "shard.unprovisioned", self.parent.group_name, str(exc)
+            )
+            return  # keep the previous assignment (degraded) until members return
+        if assignment != self.assignment:
+            self.layout_version += 1
+            self._change_counter.inc()
+            self._flight.record(
+                self.member_id,
+                "shard.layout",
+                self.parent.group_name,
+                f"v{self.layout_version} sizes={[len(a) for a in assignment]}",
+            )
+        self.assignment = assignment
+        self._apply_layout()
+
+    def _apply_layout(self) -> None:
+        for shard_no, assigned in enumerate(self.assignment):
+            hosted = self.shard_servers.get(shard_no)
+            if self.member_id in assigned:
+                self._retiring.pop(shard_no, None)  # reassigned: cancel retirement
+                if hosted is None:
+                    self._start_shard_member(shard_no, assigned)
+                else:
+                    hosted.anchor = assigned[0] == self.member_id
+            elif hosted is not None and shard_no not in self._retiring:
+                self._begin_retirement(shard_no)
+
+    # ------------------------------------------------------------------
+    # joining a shard
+    # ------------------------------------------------------------------
+    def _start_shard_member(self, shard_no: int, assigned: List[str]) -> None:
+        sub_name = shard_service_name(self.service_name, shard_no)
+        if sub_name in self.service.servers:
+            raise GroupError(f"{self.member_id} already hosts {sub_name!r}")
+        server = _ShardMember(
+            self.service,
+            sub_name,
+            self.servant_factory(),
+            policy=self.policy,
+            config=self._shard_config(assigned[0]),
+            async_forwarding=self.async_forwarding,
+        )
+        self.shard_servers[shard_no] = server
+        self.service.servers[sub_name] = server
+        self._started_counter.inc()
+        self._flight.record(self.member_id, "shard.join", f"svc:{sub_name}")
+        server.start_via_registry(is_anchor=(assigned[0] == self.member_id))
+
+    def _shard_config(self, anchor: str) -> GroupConfig:
+        cfg = self.config
+        return GroupConfig(
+            ordering=cfg.ordering,
+            liveliness=cfg.liveliness,
+            null_delay=cfg.null_delay,
+            ack_delay=cfg.ack_delay,
+            silence_period=cfg.silence_period,
+            suspicion_timeout=cfg.suspicion_timeout,
+            flush_timeout=cfg.flush_timeout,
+            sequencer_hint=anchor,
+            send_window=cfg.send_window,
+            liveliness_config=cfg.liveliness_config,
+            ordering_config=cfg.ordering_config,
+        )
+
+    # ------------------------------------------------------------------
+    # leaving a shard: retiring handover
+    # ------------------------------------------------------------------
+    def _retire_timeout(self) -> float:
+        return 3 * self.config.flush_timeout + 1.0
+
+    def _begin_retirement(self, shard_no: int) -> None:
+        self._retiring[shard_no] = self.sim.now + self._retire_timeout()
+        self._flight.record(
+            self.member_id,
+            "shard.retiring",
+            f"svc:{shard_service_name(self.service_name, shard_no)}",
+        )
+        self.sim.schedule(self.RETIRE_POLL, self._poll_retirement, shard_no)
+
+    def _poll_retirement(self, shard_no: int) -> None:
+        deadline = self._retiring.get(shard_no)
+        if deadline is None:
+            return  # cancelled (reassigned back) or already finished
+        server = self.shard_servers.get(shard_no)
+        if server is None:
+            self._retiring.pop(shard_no, None)
+            return
+        session = server.group
+        if session is None or session.state == "closed":
+            # excluded (or torn down) underneath us: nothing left to hand over
+            self._retiring.pop(shard_no, None)
+            self._finish_retirement(shard_no, graceful=False)
+            return
+        assigned = (
+            set(self.assignment[shard_no])
+            if self.assignment is not None and shard_no < len(self.assignment)
+            else set()
+        )
+        successor_arrived = any(
+            m != self.member_id and m in assigned for m in session.members
+        )
+        if successor_arrived or self.sim.now >= deadline:
+            self._retiring.pop(shard_no, None)
+            self._finish_retirement(shard_no, graceful=True)
+            return
+        self.sim.schedule(self.RETIRE_POLL, self._poll_retirement, shard_no)
+
+    def _finish_retirement(self, shard_no: int, graceful: bool) -> None:
+        server = self.shard_servers.pop(shard_no, None)
+        if server is None:
+            return
+        sub_name = shard_service_name(self.service_name, shard_no)
+        if graceful and server.group is not None and server.group.state != "closed":
+            server._restart_epoch += 1  # supersede any in-flight rejoin loop
+            server.stop()
+        else:
+            self._close_sessions(server)
+        self.service.servers.pop(sub_name, None)
+        self.service.orb.deactivate(server._servant_ref)
+        self._retired_counter.inc()
+        self._flight.record(self.member_id, "shard.retired", f"svc:{sub_name}")
+
+    def _teardown_shard(self, shard_no: int) -> None:
+        """Crash-path teardown: drop the dead incarnation's sessions."""
+        server = self.shard_servers.pop(shard_no, None)
+        if server is None:
+            return
+        self._close_sessions(server)
+        self.service.servers.pop(
+            shard_service_name(self.service_name, shard_no), None
+        )
+        self.service.orb.deactivate(server._servant_ref)
+
+    @staticmethod
+    def _close_sessions(server: ObjectGroupServer) -> None:
+        server._restart_epoch += 1  # supersede any in-flight rejoin loop
+        if server.group is not None:
+            server.group.on_deliver = None
+            server.group.on_view = None
+            server.group._close()
+            server.group = None
+        for session in list(server._client_groups.values()):
+            session.on_deliver = None
+            session.on_view = None
+            session._close()
+        server._client_groups.clear()
+        server._client_group_styles.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        hosted = ",".join(str(n) for n in self.hosted_shards) or "-"
+        return (
+            f"<ShardedServer {self.service_name}@{self.member_id} "
+            f"shards[{hosted}] v{self.layout_version}>"
+        )

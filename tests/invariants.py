@@ -60,6 +60,10 @@ __all__ = [
     "record_executions",
     "check_exactly_once",
     "check_convergence",
+    "protocol_mark",
+    "shard_of_group",
+    "check_sharded_invariants",
+    "check_genuineness",
 ]
 
 # ((era, view_id), sender, gseq) — the view id is qualified by the group
@@ -257,7 +261,7 @@ def check_invariants(
         violations += _check_fifo_gapfree(group, orders)
         violations += _check_causal(group, record, members, orders)
         violations += _check_virtual_synchrony(group, record, members, orders)
-    if violations:
+    if violations and flight is not False:  # False: caller renders its own
         recorder = flight if flight is not None else record.flight
         if recorder is not None and len(recorder):
             violations.append(recorder.render(last=60))
@@ -333,6 +337,93 @@ def _check_causal(
                             f"before its cause(s) {bad[:3]} (sender {member} "
                             f"had delivered them before sending)"
                         )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# sharded groups (repro.shard)
+# ---------------------------------------------------------------------------
+def protocol_mark(record: ProtocolRecord) -> Dict[Tuple[str, str], int]:
+    """Snapshot the per-log lengths: ``check_genuineness`` then judges only
+    events recorded after the mark (membership churn before the probe
+    window is legitimate shard traffic)."""
+    return {key: len(log) for key, log in record.events.items()}
+
+
+def shard_of_group(group: str, service_name: str):
+    """The shard number a recorded group belongs to, or None.
+
+    Recognizes the shard sub-service's server group (``svc:{svc}#{n}``)
+    and its client/server groups (``cs:{client}:{svc}#{n}:{epoch}``).
+    """
+    prefix = f"{service_name}#"
+    if group.startswith("svc:"):
+        rest = group[len("svc:"):]
+    elif group.startswith("cs:"):
+        parts = group.split(":")
+        if len(parts) != 4:
+            return None
+        rest = parts[2]
+    else:
+        return None
+    if not rest.startswith(prefix):
+        return None
+    try:
+        return int(rest[len(prefix):])
+    except ValueError:
+        return None
+
+
+def check_sharded_invariants(
+    record: ProtocolRecord,
+    service_name: str,
+    num_shards: int,
+    exclude: Iterable[str] = (),
+) -> List[str]:
+    """Per-shard ordering invariants: every shard's groups (server group
+    plus its client/server groups) independently satisfy total order,
+    gap-free FIFO, causality, and virtual synchrony (empty = pass)."""
+    violations: List[str] = []
+    for shard_no in range(num_shards):
+        groups = [
+            g for g in record.groups() if shard_of_group(g, service_name) == shard_no
+        ]
+        if not groups:
+            continue
+        violations += [
+            f"shard {shard_no}: {v}"
+            for v in check_invariants(
+                record, total_order=True, exclude=exclude, groups=groups, flight=False
+            )
+        ]
+    if violations and record.flight is not None and len(record.flight):
+        violations.append(record.flight.render(last=60))
+    return violations
+
+
+def check_genuineness(
+    record: ProtocolRecord,
+    service_name: str,
+    addressed: Iterable[int],
+    mark: Dict[Tuple[str, str], int] = None,
+) -> List[str]:
+    """FlexCast genuineness: shards not addressed by the probe window did
+    zero protocol work — no data multicast leaves or clears ordering in any
+    unaddressed shard's groups after ``mark`` (empty = pass).  View installs
+    are exempt (membership churn is not invocation traffic)."""
+    addressed_set = {int(s) for s in addressed}
+    violations: List[str] = []
+    for (group, member), log in sorted(record.events.items()):
+        shard_no = shard_of_group(group, service_name)
+        if shard_no is None or shard_no in addressed_set:
+            continue
+        start = 0 if mark is None else mark.get((group, member), 0)
+        bad = [e for e in log[start:] if e[0] in ("send", "deliver")]
+        if bad:
+            violations.append(
+                f"genuineness: unaddressed shard {shard_no} ({group} at {member}) "
+                f"saw {len(bad)} protocol event(s): {bad[:3]}"
+            )
     return violations
 
 

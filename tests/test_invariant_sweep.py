@@ -23,6 +23,7 @@ from tests.conftest import Cluster
 from tests.invariants import (
     check_exactly_once,
     check_invariants,
+    check_sharded_invariants,
     record_executions,
     record_protocol,
 )
@@ -219,6 +220,114 @@ def test_convergence_check_catches_lost_state_transfer(monkeypatch):
     report = run_scenario(recovery_spec(7, "crash-restart"))
     assert report["recovery"]["converged"] is False
     assert report["metrics"]["counters"].get("scenario.convergence.failures", 0) >= 1
+
+
+# ---------------------------------------------------------------------------
+# sharded sweep: seed x shard-count x crash cells over the sharded kvstore
+# ---------------------------------------------------------------------------
+SHARD_COUNTS = [1, 2]
+SHARD_FAULTS = ["none", "crash-restart"]
+
+
+def sharded_spec(seed: int, shards: int, fault: str) -> dict:
+    faults = (
+        [
+            {"at": 0.8, "kind": "crash", "target": "s1"},
+            {"at": 1.6, "kind": "restart", "target": "s1"},
+        ]
+        if fault == "crash-restart"
+        else []
+    )
+    return {
+        "name": f"sharded-{shards}shard-s{seed}-{fault}",
+        "seed": seed,
+        "topology": "lan",
+        "settle": 1.0,
+        "group": {
+            "replicas": 4,
+            "style": "open",
+            "ordering": "asymmetric",
+            "liveliness": "lively",
+            "silence_period": 30e-3,
+            "suspicion_timeout": 150e-3,
+            "flush_timeout": 150e-3,
+            "retry": {"max_attempts": 4, "base_delay": 0.1, "max_delay": 1.0},
+            "shards": shards,
+        },
+        "traffic": {
+            "workload": "sharded_kvstore",
+            "arrivals": {"kind": "poisson", "rate": 5.0},
+            "churn": {"initial": 2},
+            "duration": 2.0,
+            "drain": 8.0,
+            "operation": "mixed",
+            "mode": "all",
+            "timeout": 2.0,
+            "bindings": 2,
+            "keys": {
+                "space": 32,
+                "distribution": "zipf",
+                "alpha": 1.1,
+                "multi_fraction": 0.25,
+                "multi_size": 4,
+            },
+        },
+        "faults": faults,
+        "slos": [],
+    }
+
+
+@pytest.mark.parametrize("fault", SHARD_FAULTS)
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sharded_sweep(seed, shards, fault):
+    """Every shard keeps its own total order and gap-free FIFO, execution
+    is exactly-once per member incarnation across single-key calls and
+    scatter/gather, and the run ends with parent + every shard converged."""
+    with record_protocol() as record, record_executions() as executions:
+        report = run_scenario(sharded_spec(seed, shards, fault))
+    recovery = report["recovery"]
+    assert recovery is not None and recovery["converged"], recovery
+    assert recovery["provisioned"]
+    assert executions, "the sweep must actually execute calls"
+    assert check_exactly_once(executions) == []
+    assert check_sharded_invariants(record, "svc", shards) == []
+
+
+def test_genuineness_check_catches_broadcast_routing(monkeypatch):
+    """Mutation smoke-check: a router bug that multicasts single-key calls
+    to *every* shard must trip the genuineness invariant — proving the
+    unaddressed-shards-do-zero-work check has teeth."""
+    from repro.apps import ShardedKVClient
+    from repro.shard.binding import ShardedBinding
+    from repro.sim import run_process
+    from tests.core_helpers import AppCluster
+    from tests.invariants import check_genuineness, protocol_mark
+    from tests.test_shard import keys_for_shard, serve_all_sharded, sharded_client
+
+    original = ShardedBinding._invoke_on
+
+    def broadcast(self, shard_no, operation, args, mode, timeout):
+        results = [
+            original(self, n, operation, args, mode, timeout)
+            for n in range(self.num_shards)
+        ]
+        return results[shard_no]
+
+    monkeypatch.setattr(ShardedBinding, "_invoke_on", broadcast)
+    c = AppCluster(servers=4, clients=1)
+    serve_all_sharded(c, num_shards=2)
+    kv = ShardedKVClient(sharded_client(c, 2), timeout=5.0)
+    with record_protocol() as record:
+        mark = protocol_mark(record)
+        key = keys_for_shard(0, 2, 1)[0]
+
+        def traffic():
+            yield kv.put(key, "v")
+
+        run_process(c.sim, traffic(), until=c.sim.now + 5.0)
+    violations = check_genuineness(record, "kv", addressed={0}, mark=mark)
+    assert violations, "broadcast routing must violate genuineness"
 
 
 # ---------------------------------------------------------------------------

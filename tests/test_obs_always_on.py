@@ -423,6 +423,60 @@ def test_obs_cli_flight_renders_report_excerpt(tmp_path, capsys):
     assert main(["flight", str(passing)]) == 1
 
 
+def test_obs_cli_timeline_attr_filter(tmp_path, capsys):
+    from repro.obs.__main__ import main
+
+    records = [
+        {"trace": 1, "span": 1, "parent": None, "name": "invoke", "node": "c0",
+         "start": 0.0, "end": 1e-3, "attrs": {"shard": "s0", "op": "put"}},
+        {"trace": 1, "span": 2, "parent": 1, "name": "gc.send", "node": "c0",
+         "start": 0.0, "end": 5e-4},
+        {"trace": 2, "span": 3, "parent": None, "name": "invoke", "node": "c0",
+         "start": 2e-3, "end": 3e-3, "attrs": {"shard": "s1"}},
+    ]
+    path = tmp_path / "trace.jsonl"
+    path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+    assert main(["timeline", str(path), "--attr", "shard=s1"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("--- trace") == 1 and "shard=s1" in out
+    # children of a matching trace ride along even without the attr
+    assert main(["timeline", str(path), "--attr", "shard=s0"]) == 0
+    out = capsys.readouterr().out
+    assert "gc.send" in out and "shard=s1" not in out
+    assert main(["timeline", str(path), "--attr", "shard=nope"]) == 1
+    with pytest.raises(SystemExit):
+        main(["timeline", str(path), "--attr", "malformed"])
+
+
+def test_obs_cli_flight_shard_group_node_filters(tmp_path, capsys):
+    from repro.obs.__main__ import main
+
+    excerpt = [
+        {"seq": 1, "t": 0.01, "node": "s0", "kind": "view",
+         "group": "svc:kv#0", "detail": ""},
+        {"seq": 2, "t": 0.02, "node": "s1", "kind": "send",
+         "group": "svc:kv#1", "detail": "gseq=1"},
+        {"seq": 3, "t": 0.03, "node": "c0", "kind": "deliver",
+         "group": "cs:c0:kv#1:2", "detail": ""},
+        {"seq": 4, "t": 0.04, "node": "s0", "kind": "send",
+         "group": "svc:kv", "detail": ""},
+    ]
+    path = tmp_path / "excerpt.json"
+    path.write_text(json.dumps(excerpt))
+    # --shard matches the shard's svc group and its cs groups, nothing else
+    assert main(["flight", str(path), "--shard", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "svc:kv#1" in out and "cs:c0:kv#1:2" in out
+    assert "svc:kv#0" not in out and "svc:kv:send" not in out
+    assert main(["flight", str(path), "--group", "kv#0"]) == 0
+    out = capsys.readouterr().out
+    assert "svc:kv#0" in out and "kv#1" not in out
+    assert main(["flight", str(path), "--node", "c0"]) == 0
+    out = capsys.readouterr().out
+    assert "cs:c0:kv#1:2" in out and "svc:kv#0" not in out
+    assert main(["flight", str(path), "--shard", "7"]) == 1
+
+
 # ---------------------------------------------------------------------------
 # bench CLI flag
 # ---------------------------------------------------------------------------

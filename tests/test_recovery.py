@@ -278,3 +278,80 @@ def test_reply_cache_eviction_bounds_suppression(monkeypatch):
     gc.send(InvokeMsg("c0", 1, "incr", (1,), Mode.ALL, False, ""))
     c.run(1.0)
     assert servers[0].servant.value == 5
+
+
+# ---------------------------------------------------------------------------
+# sharded: a crash during a scatter must re-resolve the moved shard
+# ---------------------------------------------------------------------------
+def test_crash_during_scatter_rebinds_to_relayouted_shard():
+    """Shard 1's entire membership crashes while a scatter is in flight:
+    the survivors' re-layout hands shard 1 to a node that never hosted it,
+    and the client must re-resolve the shard's membership (fresh registry
+    lookup) rather than retrying the dead incumbents forever."""
+    from repro.apps import ShardedKVClient
+    from tests.test_shard import keys_for_shard, serve_all_sharded, sharded_client
+
+    c = AppCluster(servers=4, clients=1)
+    servers = serve_all_sharded(c, num_shards=2)
+    assert servers[0].assignment == [["s0", "s2"], ["s1", "s3"]]
+    kv = ShardedKVClient(sharded_client(c, 2), timeout=25.0)
+    shard0_keys = keys_for_shard(0, 2, 2)
+    shard1_keys = keys_for_shard(1, 2, 2)
+    items = {k: f"v:{k}" for k in shard0_keys + shard1_keys}
+
+    def seed():
+        yield kv.mput(items)
+
+    run_process(c.sim, seed(), until=c.sim.now + 5.0)
+
+    # kill shard 1's whole membership, then scatter *before* the client can
+    # observe the failure: the shard-1 half goes to the dead incumbents
+    c.net.crash("s1")
+    c.net.crash("s3")
+    future = kv.mget(list(items))
+    c.run(20.0)
+
+    # the survivors re-laid out both shards over {s0, s2}
+    assert servers[0].assignment == [["s0"], ["s2"]]
+    assert sorted(c.services["s2"].servers["kv"].hosted_shards) == [1]
+    # the scatter completed: shard 0's half is intact; shard 1's half came
+    # from the re-created incarnation (whole-shard crash loses its state)
+    assert future.done and not future.failed, future
+    got = future.result()
+    assert {k: v for k, v in got.items() if k in shard0_keys} == {
+        k: items[k] for k in shard0_keys
+    }
+    # new shard-1 traffic lands on the re-hosted shard
+    def after():
+        yield kv.put(shard1_keys[0], "new")
+        value = yield kv.get(shard1_keys[0])
+        assert value == "new"
+
+    run_process(c.sim, after(), until=c.sim.now + 10.0)
+    servant = c.services["s2"].servers["kv"].shard_server(1).servant
+    assert servant._data.get(shard1_keys[0]) == "new"
+
+
+def test_remap_rebuilds_a_broken_sub_binding():
+    """When a sub-binding gives up with BindingBroken (every member it
+    remembers is gone), the sharded layer discards it and builds a fresh
+    one whose lookup re-resolves the shard — bounded, jittered remaps."""
+    from repro.apps import ShardedKVClient
+    from tests.test_shard import keys_for_shard, serve_all_sharded, sharded_client
+
+    c = AppCluster(servers=4, clients=1)
+    serve_all_sharded(c, num_shards=2)
+    binding = sharded_client(c, 2)
+    kv = ShardedKVClient(binding, timeout=10.0)
+    key = keys_for_shard(1, 2, 1)[0]
+    stale = binding.binding(1)
+    stale.close()  # simulate "every member this sub-binding knew is gone"
+
+    def traffic():
+        yield kv.put(key, "v")
+        value = yield kv.get(key)
+        assert value == "v"
+
+    run_process(c.sim, traffic(), until=c.sim.now + 10.0)
+    assert binding.binding(1) is not stale
+    assert c.sim.obs.metrics.counter_value("shard.client.remaps") >= 1

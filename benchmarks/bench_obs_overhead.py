@@ -14,14 +14,22 @@ Two kinds of result:
   identical number of group messages.  Tracing observes the protocol; it
   must never perturb it.
 - **Speed** (machine-dependent): events/sec per configuration, best of
-  ``--repeats``, measured in process CPU time (``time.process_time``) so a
-  busy CI neighbour cannot fail the gate.  The committed
-  ``BENCH_kernel.json`` records the baseline.
+  ``--repeats`` after one discarded warmup pass per configuration,
+  measured in process CPU time (``time.process_time``) so a busy CI
+  neighbour cannot fail the gate.  Relative overhead is the *median* of
+  per-repeat paired ratios (each repeat runs the configurations
+  back-to-back, so frequency drift mostly cancels within a pair); the
+  median is robust to the odd noisy repeat in either direction, where the
+  earlier min-of-ratios estimator was biased negative — it reported
+  whichever repeat caught trace-off at its slowest.  The
+  ``obs_overhead`` section of
+  the committed ``BENCH_kernel.json`` records the baseline (shared with
+  bench_kernel_speed.py; each benchmark rewrites only its own section).
 
 ``--check`` is the CI gate: it fails if the behaviour counters drift from
 the committed baseline at all, if trace-off events/sec regresses more than
 ``--tolerance`` (default 10%) against the baseline, or if 1%-sampled
-tracing costs more than 5% versus trace-off *measured in the same process*
+tracing costs more than 8% versus trace-off *measured in the same process*
 (so the sampling gate is hardware-independent).
 
 Run ``python benchmarks/bench_obs_overhead.py`` to refresh the baseline;
@@ -31,11 +39,12 @@ results are also appended to bench_report.txt via the usual emit() path.
 from __future__ import annotations
 
 import argparse
-import json
+import gc
 import os
 import sys
 import time
 
+from repro.bench.baseline import read_section, write_section
 from repro.bench.report import emit, format_table
 from repro.bench.harness import request_reply_point
 from repro.core.modes import BindingStyle, Mode
@@ -52,24 +61,37 @@ CONFIGS = (
     ("full-trace", lambda: Observability(trace=True)),
 )
 
-SAMPLED_BUDGET_PCT = 5.0  # 1%-sampling may cost at most this vs trace-off
+SECTION = "obs_overhead"
+#: 1%-sampling may cost at most this vs trace-off.  The budget is relative
+#: to a kernel that the hot-path overhaul made ~1.9x faster: sampling's
+#: (unchanged) absolute per-root cost is now a larger fraction of each run,
+#: so the budget is wider than the pre-overhaul 5% while still catching a
+#: sampling path that regresses to anywhere near full-trace cost (~25%+).
+SAMPLED_BUDGET_PCT = 8.0
 
 
 def run_once(make_obs, args):
     """One run: CPU time plus the deterministic behaviour counters."""
     obs = make_obs()
-    start = time.process_time()
-    point = request_reply_point(
-        "lan",
-        args.clients,
-        replicas=3,
-        style=BindingStyle.CLOSED,
-        mode=Mode.ALL,
-        requests=args.requests,
-        seed=args.seed,
-        obs=obs,
-    )
-    cpu = time.process_time() - start
+    # collector cycles land on repeats at random, so time with GC off
+    # (timeit-style); collect before enabling to start from a clean heap
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.process_time()
+        point = request_reply_point(
+            "lan",
+            args.clients,
+            replicas=3,
+            style=BindingStyle.CLOSED,
+            mode=Mode.ALL,
+            requests=args.requests,
+            seed=args.seed,
+            obs=obs,
+        )
+        cpu = time.process_time() - start
+    finally:
+        gc.enable()
     events = obs.sim.events_processed
     delivered = obs.metrics.counter_value("gc.delivered")
     return {
@@ -83,7 +105,12 @@ def run_once(make_obs, args):
 
 
 def measure(args):
-    # interleave the repeats (off, sampled, full, off, sampled, full, ...)
+    # one discarded warmup per configuration: the first run of a process
+    # pays import, allocator, and branch-predictor warmup that would
+    # otherwise be charged to whichever configuration happened to go first
+    for _name, make_obs in CONFIGS:
+        run_once(make_obs, args)
+    # interleave the timed repeats (off, sampled, full, off, sampled, ...)
     # so CPU frequency / cache drift hits every configuration equally
     # instead of biasing whichever block ran last; keep the best time each
     results = {}
@@ -94,15 +121,23 @@ def measure(args):
             cpu_per_repeat[name].append(result["cpu_s"])
             if name not in results or result["cpu_s"] < results[name]["cpu_s"]:
                 results[name] = result
-    # relative overhead from *paired* ratios: within one repeat the runs are
-    # back-to-back, so frequency drift mostly cancels; the minimum over
-    # repeats is the cleanest observation of the configuration's true cost
+    # relative overhead from the *median* of paired per-repeat ratios:
+    # within one repeat the runs are back-to-back so frequency drift mostly
+    # cancels, and the median is robust to the odd noisy repeat in either
+    # direction (the min over ratios was biased negative — it reported
+    # whichever repeat caught trace-off at its slowest)
     for name in ("sampled-1pct", "full-trace"):
-        best_ratio = min(
+        ratios = sorted(
             cost / base
             for cost, base in zip(cpu_per_repeat[name], cpu_per_repeat["trace-off"])
         )
-        results[name]["overhead_pct"] = round((best_ratio - 1.0) * 100.0, 2)
+        mid = len(ratios) // 2
+        median = (
+            ratios[mid]
+            if len(ratios) % 2
+            else (ratios[mid - 1] + ratios[mid]) / 2.0
+        )
+        results[name]["overhead_pct"] = round((median - 1.0) * 100.0, 2)
     results["trace-off"]["overhead_pct"] = 0.0
 
     off = results["trace-off"]
@@ -169,19 +204,15 @@ def write_baseline(results, args) -> None:
         "sampled_overhead_pct": results["sampled-1pct"]["overhead_pct"],
         "full_overhead_pct": results["full-trace"]["overhead_pct"],
     }
-    with open(args.baseline, "w", encoding="utf-8") as fp:
-        json.dump(payload, fp, indent=2, sort_keys=True)
-        fp.write("\n")
-    print(f"baseline written to {args.baseline}")
+    write_section(args.baseline, SECTION, payload)
+    print(f"baseline section {SECTION!r} written to {args.baseline}")
 
 
 def check(results, args) -> int:
     """CI gate against the committed baseline.  Returns an exit code."""
-    try:
-        with open(args.baseline, "r", encoding="utf-8") as fp:
-            baseline = json.load(fp)
-    except OSError as exc:
-        print(f"FAIL cannot read baseline {args.baseline!r}: {exc}")
+    baseline = read_section(args.baseline, SECTION)
+    if baseline is None:
+        print(f"FAIL no {SECTION!r} section in baseline {args.baseline!r}")
         return 1
     failures = []
     base_results = baseline["results"]
@@ -229,7 +260,7 @@ def main(argv=None) -> int:
     parser.add_argument("--clients", type=int, default=4)
     parser.add_argument("--requests", type=int, default=60, help="per client")
     parser.add_argument("--seed", type=int, default=42)
-    parser.add_argument("--repeats", type=int, default=5, help="best-of-N CPU times")
+    parser.add_argument("--repeats", type=int, default=10, help="best-of-N CPU times")
     parser.add_argument(
         "--baseline", default=DEFAULT_BASELINE,
         help="baseline JSON path (default: repo-root BENCH_kernel.json)",

@@ -25,6 +25,7 @@ from repro.bench.harness import (
     peer_series,
     request_reply_series,
 )
+from repro.bench.profiling import DEFAULT_TOP, profiled
 from repro.bench.report import print_graph, print_table
 from repro.core.modes import BindingStyle, Mode, ReplicationPolicy
 from repro.groupcomm.config import Ordering
@@ -162,6 +163,16 @@ def main(argv=None) -> int:
         action="store_true",
         help="print the merged metrics snapshot and traffic reconciliation",
     )
+    parser.add_argument(
+        "--profile",
+        type=int,
+        metavar="N",
+        nargs="?",
+        const=DEFAULT_TOP,
+        default=None,
+        help="run the experiment under cProfile and print the top N entries "
+        f"by cumulative time (default {DEFAULT_TOP})",
+    )
     args = parser.parse_args(argv)
     if args.trace_sample is not None:
         if not 0.0 <= args.trace_sample <= 1.0:
@@ -196,7 +207,8 @@ def main(argv=None) -> int:
         )
     fn, _description = EXPERIMENTS[args.experiment]
     try:
-        fn(args)
+        with profiled(args.profile, label=args.experiment):
+            fn(args)
     finally:
         configure(trace=False, sink=None)
     if sink is not None:

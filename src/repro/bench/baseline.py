@@ -1,0 +1,50 @@
+"""Sectioned benchmark-baseline files.
+
+``BENCH_kernel.json`` holds one committed baseline per kernel benchmark,
+keyed by section name::
+
+    {
+      "obs_overhead": {...},   # bench_obs_overhead.py
+      "kernel_speed": {...}    # bench_kernel_speed.py
+    }
+
+Each benchmark owns exactly its own section: refreshing one baseline never
+clobbers the other's.  Earlier revisions stored a single flat payload with
+a top-level ``"benchmark"`` key; :func:`load_sections` transparently lifts
+that legacy layout into its section so old files keep checking.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+__all__ = ["load_sections", "read_section", "write_section"]
+
+
+def load_sections(path: str) -> Dict[str, Any]:
+    """All sections of the baseline file (``{}`` when absent)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fp:
+            data = json.load(fp)
+    except OSError:
+        return {}
+    if not isinstance(data, dict):
+        raise ValueError(f"baseline {path!r} is not a JSON object")
+    if "benchmark" in data:  # pre-section flat layout
+        return {str(data["benchmark"]).replace("-", "_"): data}
+    return data
+
+
+def read_section(path: str, section: str) -> Optional[Dict[str, Any]]:
+    """One benchmark's committed baseline, or None when missing."""
+    return load_sections(path).get(section)
+
+
+def write_section(path: str, section: str, payload: Dict[str, Any]) -> None:
+    """Replace ``section`` in the baseline file, preserving the others."""
+    sections = load_sections(path)
+    sections[section] = payload
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(sections, fp, indent=2, sort_keys=True)
+        fp.write("\n")

@@ -1,0 +1,43 @@
+"""Opt-in cProfile wrapping for the bench and scenario CLIs.
+
+``python -m repro.bench peer --profile`` (or ``--profile 40``) runs the
+experiment under :mod:`cProfile` and prints the top-N entries by cumulative
+time once it finishes — the quickest way to see where a slow workload's
+CPU goes without editing any code.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import contextlib
+import pstats
+import sys
+from typing import Iterator, Optional
+
+__all__ = ["profiled"]
+
+DEFAULT_TOP = 25
+
+
+@contextlib.contextmanager
+def profiled(top: Optional[int], label: str = "") -> Iterator[None]:
+    """Profile the enclosed block and print ``top`` cumulative entries.
+
+    ``top`` of None disables profiling entirely (the flag was not given),
+    so call sites can wrap unconditionally.
+    """
+    if top is None:
+        yield
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        title = f"profile: top {top} by cumulative time"
+        if label:
+            title += f" ({label})"
+        print(f"\n{title}")
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(top)

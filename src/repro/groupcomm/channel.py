@@ -66,9 +66,17 @@ class _Outgoing:
         return frame
 
     def ack(self, cum_seq: int) -> None:
-        for seq in [s for s in self.buffer if s <= cum_seq]:
-            del self.buffer[seq]
-            self.sent_at.pop(seq, None)
+        # frames enter the buffer in increasing seq order and only the
+        # acked prefix is ever removed, so insertion order stays sorted:
+        # pop from the front instead of scanning the whole buffer per ack
+        buffer = self.buffer
+        sent_at = self.sent_at
+        while buffer:
+            seq = next(iter(buffer))
+            if seq > cum_seq:
+                break
+            del buffer[seq]
+            sent_at.pop(seq, None)
         self.probes = 0
 
 
@@ -130,7 +138,9 @@ class ChannelManager:
         """Reliably send ``inner`` to ``peer`` (not to self)."""
         if peer == self.local:
             raise ValueError("channels do not loop back; deliver locally instead")
-        out = self._out.setdefault(peer, _Outgoing())
+        out = self._out.get(peer)
+        if out is None:
+            out = self._out[peer] = _Outgoing()
         frame = out.frame(inner, self.sim.now)
         self._attach_ack(peer, frame)
         self.transport(peer, frame)
@@ -213,7 +223,9 @@ class ChannelManager:
             out = self._out.get(peer)
             if out is not None:
                 out.ack(frame.ack)
-        inc = self._in.setdefault(peer, _Incoming())
+        inc = self._in.get(peer)
+        if inc is None:
+            inc = self._in[peer] = _Incoming()
         if frame.seq < inc.expected:
             self._bump_ack(peer, inc)  # duplicate: re-ack so sender can GC
             return

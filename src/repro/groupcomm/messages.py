@@ -71,9 +71,11 @@ class DataMsg:
     __slots__ = (
         "group", "sender", "view_id", "gseq", "ts",
         "kind", "payload", "ticket", "vector", "acks",
-        "hb_period", "frontier", "era",
+        "hb_period", "frontier", "era", "_mid",
     )
-    _fields = __slots__
+    #: wire fields only — ``_mid`` is a lazily built identity cache,
+    #: never marshalled (identity fields are immutable after construction)
+    _fields = __slots__[:-1]
 
     def __init__(
         self,
@@ -104,10 +106,14 @@ class DataMsg:
         self.hb_period = hb_period
         self.frontier = frontier
         self.era = era
+        self._mid: Optional[Tuple[int, str, int]] = None
 
     @property
     def msg_id(self) -> Tuple[int, str, int]:
-        return (self.view_id, self.sender, self.gseq)
+        mid = self._mid
+        if mid is None:
+            mid = self._mid = (self.view_id, self.sender, self.gseq)
+        return mid
 
     @property
     def is_null(self) -> bool:

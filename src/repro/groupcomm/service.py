@@ -87,6 +87,8 @@ class GroupCommService:
         self._era_counter = 0
         self._metrics = orb.sim.obs.metrics
         self._kind_counters: Dict[str, Any] = {}
+        #: peer NSO IORs are pure values; build each once, not per send
+        self._peer_iors: Dict[str, IOR] = {}
         self._nso_ref = orb.register(_NsoServant(self), object_id=NSO_OBJECT_ID)
         self.channels = ChannelManager(
             self.sim, self.name, self._transport, self._route
@@ -160,7 +162,9 @@ class GroupCommService:
                     f"gc.sent.{kind}"
                 )
             counter.inc()
-        target = IOR(peer, "RootPOA", NSO_OBJECT_ID)
+        target = self._peer_iors.get(peer)
+        if target is None:
+            target = self._peer_iors[peer] = IOR(peer, "RootPOA", NSO_OBJECT_ID)
         self.orb.invoke(
             target, "receive", (self.name, message), oneway=True, net_kind=kind
         )

@@ -417,26 +417,46 @@ class GroupSession:
     # stability tracking
     # ------------------------------------------------------------------
     def _ingest_acks(self, reporter: str, acks: Dict[str, int]) -> None:
-        self._acked[reporter] = dict(acks)
-        if not self.unstable or self.view is None:
+        # the acks dict arrives freshly decoded from the wire (or freshly
+        # built for a local replay) and is never mutated afterwards, so it
+        # can be stored by reference instead of copied per message
+        self._acked[reporter] = acks
+        unstable = self.unstable
+        if not unstable or self.view is None:
             return
         members = self.view.members
-        own = self._current_acks()
+        member_id = self.member_id
+        acked = self._acked
+        recv_gseq = self._recv_gseq
+        own_top = self._gseq_next - 1
+        # only senders that still have unstable messages can release
+        # anything; computing stability for the rest is wasted work
         stable: Dict[str, int] = {}
-        for sender in members:
-            low = own.get(sender, 0)
-            for member in members:
-                if member == self.member_id:
-                    continue
-                low = min(low, self._acked.get(member, {}).get(sender, 0))
+        for mid in unstable:
+            sender = mid[1]
+            if sender in stable:
+                continue
+            if sender != member_id and sender not in members:
+                stable[sender] = 0  # not (or no longer) a member: never stable
+                continue
+            # own acks: what we have received from (or sent as) this sender
+            low = own_top if sender == member_id else recv_gseq.get(sender, 0)
+            if low > 0:
+                for member in members:
+                    if member == member_id:
+                        continue
+                    peer_acks = acked.get(member)
+                    theirs = 0 if peer_acks is None else peer_acks.get(sender, 0)
+                    if theirs < low:
+                        low = theirs
+                        if low <= 0:
+                            break
             stable[sender] = low
         own_released = 0
-        for msg_id in [
-            mid for mid in self.unstable if mid[2] <= stable.get(mid[1], 0)
-        ]:
+        for msg_id in [mid for mid in unstable if mid[2] <= stable[mid[1]]]:
             if msg_id[1] == self.member_id:
                 own_released += 1
-            del self.unstable[msg_id]
+            del unstable[msg_id]
         if own_released:
             self.flow.release(own_released)
             while True:

@@ -97,6 +97,9 @@ class Network:
         self._link_queue_hist = sim.obs.metrics.histogram("net.link_queue_delay")
         self._partition: Optional[List[Set[str]]] = None  # sets of node names
         self._last_arrival: Dict[Tuple[str, str], float] = {}
+        # resolved (src_site, dst_site) -> LinkSpec, bypassing the topology's
+        # per-call site validation on the hot path; links are static per run
+        self._link_cache: Dict[Tuple[str, str], Any] = {}
         # shared link capacity: messages serialise onto the (directed)
         # site-pair pipe they cross — intra-site traffic shares the LAN
         # segment, inter-site traffic shares the Internet path.  The WAN
@@ -154,14 +157,18 @@ class Network:
         src_site = self.nodes[src].site
         dst_node = self.nodes.get(dst)
         dst_site = dst_node.site if dst_node is not None else src_site
-        link = self.topology.link(src_site, dst_site)
+        resource = (src_site, dst_site)
+        link = self._link_cache.get(resource)
+        if link is None:
+            link = self._link_cache[resource] = self.topology.link(src_site, dst_site)
 
         # link capacity is consumed whether or not the message will arrive
-        resource = (src_site, dst_site)
-        tx_start = max(self.sim.now, self._link_busy.get(resource, 0.0))
+        now = self.sim._now  # Simulator.now is a property; skip the descriptor
+        busy = self._link_busy.get(resource, 0.0)
+        tx_start = busy if busy > now else now
         tx_end = tx_start + link.serialisation_delay(size)
         self._link_busy[resource] = tx_end
-        self._link_queue_hist.record(tx_start - self.sim.now)
+        self._link_queue_hist.record(tx_start - now)
 
         span = None
         if tracer.enabled and tracer.recording:
@@ -179,7 +186,9 @@ class Network:
                 },
             )
 
-        if dst_node is None or not dst_node.alive or not self.reachable(src, dst):
+        if dst_node is None or not dst_node.alive or (
+            self._partition is not None and not self.reachable(src, dst)
+        ):
             self.stats.record_drop()
             tracer.end_span(span, outcome="dropped", reason="unreachable")
             return

@@ -77,6 +77,9 @@ class Node:
         self._busy_until = 0.0
         self._busy_accum = 0.0
         self._queue_hist = sim.obs.metrics.histogram("node.cpu_queue_delay")
+        # pre-resolved bound methods: execute() runs once per CPU submission
+        self._record_queue_delay = self._queue_hist.record
+        self._schedule_at = sim.schedule_at
 
     # ------------------------------------------------------------------
     # service registration and message I/O
@@ -111,7 +114,8 @@ class Node:
             return
         if self.network is None:
             raise RuntimeError(f"node {self.name} is not attached to a network")
-        cost = self.cpu.send_cost(size)
+        cpu = self.cpu
+        cost = cpu.send_overhead + size * cpu.per_byte
         self.execute(
             cost, self.network.transmit, self.name, dst, service, payload, size, kind
         )
@@ -123,7 +127,9 @@ class Node:
         handler = self._handlers.get(service)
         if handler is None:
             return  # unknown service: silently dropped, like a closed port
-        self.execute(self.cpu.recv_cost(size), self._dispatch, handler, src, payload, size)
+        cpu = self.cpu
+        cost = cpu.recv_overhead + size * cpu.per_byte
+        self.execute(cost, self._dispatch, handler, src, payload, size)
 
     def _dispatch(self, handler, src: str, payload: Any, size: int) -> None:
         if not self.alive:
@@ -148,12 +154,14 @@ class Node:
         if not self.alive:
             return
         cost *= self.slowdown
-        now = self.sim.now
-        start = max(now, self._busy_until)
-        self._queue_hist.record(start - now)
-        self._busy_until = start + cost
+        now = self.sim._now  # Simulator.now is a property; skip the descriptor
+        busy = self._busy_until
+        start = busy if busy > now else now
+        self._record_queue_delay(start - now)
+        until = start + cost
+        self._busy_until = until
         self._busy_accum += cost
-        self.sim.schedule_at(self._busy_until, self._run_if_alive, fn, args)
+        self._schedule_at(until, self._run_if_alive, fn, args)
 
     def _run_if_alive(self, fn: Callable, args) -> None:
         if self.alive:

@@ -71,6 +71,9 @@ class Gauge:
         return f"<Gauge {self.name}={self.value}>"
 
 
+_frexp = math.frexp
+
+
 def _bucket_index(value: float) -> int:
     """Map a positive value to its HDR bucket index.
 
@@ -111,12 +114,24 @@ class Histogram:
     def record(self, value: float) -> None:
         self.count += 1
         self.total += value
-        if self.min is None or value < self.min:
+        mn = self.min
+        if mn is None or value < mn:
             self.min = value
-        if self.max is None or value > self.max:
+        mx = self.max
+        if mx is None or value > mx:
             self.max = value
-        index = _bucket_index(value)
-        self.buckets[index] = self.buckets.get(index, 0) + 1
+        # _bucket_index inlined: record() runs once per queue/latency
+        # observation, and the extra call dominated the instrument cost
+        if value <= 0.0:
+            index = ZERO_BUCKET
+        else:
+            mantissa, exponent = _frexp(value)
+            sub = int((mantissa - 0.5) * (2 * SUBBUCKETS))
+            if sub >= SUBBUCKETS:  # mantissa == 1.0 edge after float fuzz
+                sub = SUBBUCKETS - 1
+            index = exponent * SUBBUCKETS + sub
+        buckets = self.buckets
+        buckets[index] = buckets.get(index, 0) + 1
 
     @property
     def mean(self) -> float:

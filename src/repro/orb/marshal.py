@@ -11,11 +11,24 @@ simulation two properties the paper's measurements depend on:
 Supported values: None, bool, int, float, str, bytes, list, tuple, dict, and
 any class registered with :func:`corba_struct` (encoded field-by-field in
 declaration order).
+
+The codec is on the critical path of every simulated message, so both
+directions are built around precompiled per-type fast paths (see
+docs/PERFORMANCE.md): encoding dispatches on exact type through a table that
+includes a dedicated encoder per registered struct (header bytes precomputed
+at registration, fields fetched with one ``attrgetter``), and decoding walks
+the byte string with prebound ``struct.Struct`` readers instead of a reader
+object.  ``wire_size`` computes the encoded length without materialising the
+bytes.  The wire format itself is unchanged and byte-identical to the
+original recursive implementation.
 """
 
 from __future__ import annotations
 
+import inspect
 import struct
+from operator import attrgetter
+from sys import intern as _intern
 from typing import Any, Callable, Dict, List, Tuple, Type
 
 __all__ = ["corba_struct", "encode", "decode", "wire_size", "MarshalError"]
@@ -39,6 +52,50 @@ _TAG_STRUCT = b"S"
 
 _STRUCT_REGISTRY: Dict[str, Tuple[Type, Tuple[str, ...]]] = {}
 
+# ---------------------------------------------------------------------------
+# fast-path tables (populated below and by corba_struct at registration time)
+# ---------------------------------------------------------------------------
+
+#: exact-type -> encoder(value, out); misses fall back to the isinstance walk
+_ENCODERS: Dict[type, Callable[[Any, List[bytes]], None]] = {}
+
+#: raw wire name -> (cls, fields, positional_ctor, nfields)
+_STRUCT_DECODERS: Dict[bytes, Tuple[Type, Tuple[str, ...], bool, int]] = {}
+
+#: exact struct type -> (header_len, attrgetter, nfields) for wire_size
+_STRUCT_SIZERS: Dict[type, Tuple[int, Callable, int]] = {}
+
+_pack_q = struct.Struct(">q").pack
+_pack_d = struct.Struct(">d").pack
+_pack_I = struct.Struct(">I").pack
+_unpack_q_from = struct.Struct(">q").unpack_from
+_unpack_d_from = struct.Struct(">d").unpack_from
+_unpack_I_from = struct.Struct(">I").unpack_from
+
+#: small non-negative ints (sequence numbers, view ids, collection lengths)
+#: dominate the int traffic; their encodings are immutable, share them
+_INT_CACHE: List[bytes] = [_TAG_INT + _pack_q(i) for i in range(1024)]
+
+#: short hot strings (member names, group names, message kinds) are encoded
+#: over and over; cache the full tag+length+payload chunk, bounded
+_STR_CACHE: Dict[str, bytes] = {}
+_STR_CACHE_MAX = 4096
+
+
+def _ctor_takes_fields_positionally(cls: Type, fields: Tuple[str, ...]) -> bool:
+    """True when ``cls(*field_values)`` is equivalent to ``cls(**kwargs)`` —
+    i.e. the constructor's leading parameters are exactly the wire fields."""
+    try:
+        params = list(inspect.signature(cls.__init__).parameters.values())[1:]
+    except (TypeError, ValueError):
+        return False
+    positional = [
+        p.name
+        for p in params
+        if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+    ]
+    return tuple(positional[: len(fields)]) == fields
+
 
 def corba_struct(cls: Type) -> Type:
     """Class decorator: register a value type for wire marshalling.
@@ -58,12 +115,125 @@ def corba_struct(cls: Type) -> Type:
     name = cls.__name__
     if name in _STRUCT_REGISTRY and _STRUCT_REGISTRY[name][0] is not cls:
         raise MarshalError(f"duplicate struct name {name!r}")
-    _STRUCT_REGISTRY[name] = (cls, tuple(fields))
+    fields = tuple(fields)
+    _STRUCT_REGISTRY[name] = (cls, fields)
     cls._wire_name = name
+
+    raw = name.encode("utf-8")
+    header = _TAG_STRUCT + _pack_I(len(raw)) + raw
+    getter = attrgetter(*fields)
+    nfields = len(fields)
+    _ENCODERS[cls] = _make_struct_encoder(header, getter, nfields)
+    _STRUCT_DECODERS[raw] = (
+        cls,
+        fields,
+        _ctor_takes_fields_positionally(cls, fields),
+        nfields,
+    )
+    _STRUCT_SIZERS[cls] = (len(header), getter, nfields)
     return cls
 
 
-def _encode_into(value: Any, out: List[bytes]) -> None:
+def _make_struct_encoder(header: bytes, getter: Callable, nfields: int):
+    get = _ENCODERS.get
+    if nfields == 1:
+        def enc_struct(value, out):
+            out.append(header)
+            v = getter(value)
+            ((get(v.__class__)) or _encode_fallback)(v, out)
+    else:
+        def enc_struct(value, out):
+            out.append(header)
+            for v in getter(value):
+                ((get(v.__class__)) or _encode_fallback)(v, out)
+    return enc_struct
+
+
+# ---------------------------------------------------------------------------
+# encoding
+# ---------------------------------------------------------------------------
+
+def _enc_none(value, out):
+    out.append(_TAG_NONE)
+
+
+def _enc_bool(value, out):
+    out.append(_TAG_TRUE if value else _TAG_FALSE)
+
+
+def _enc_int(value, out):
+    if 0 <= value < 1024:
+        out.append(_INT_CACHE[value])
+    else:
+        out.append(_TAG_INT)
+        out.append(_pack_q(value))
+
+
+def _enc_float(value, out):
+    out.append(_TAG_FLOAT)
+    out.append(_pack_d(value))
+
+
+def _enc_str(value, out):
+    enc = _STR_CACHE.get(value)
+    if enc is not None:
+        out.append(enc)
+        return
+    raw = value.encode("utf-8")
+    if len(raw) <= 32 and len(_STR_CACHE) < _STR_CACHE_MAX:
+        enc = _TAG_STR + _pack_I(len(raw)) + raw
+        _STR_CACHE[value] = enc
+        out.append(enc)
+    else:
+        out.append(_TAG_STR)
+        out.append(_pack_I(len(raw)))
+        out.append(raw)
+
+
+def _enc_bytes(value, out):
+    out.append(_TAG_BYTES)
+    out.append(_pack_I(len(value)))
+    out.append(value)
+
+
+def _enc_list(value, out):
+    out.append(_TAG_LIST)
+    out.append(_pack_I(len(value)))
+    get = _ENCODERS.get
+    for item in value:
+        ((get(item.__class__)) or _encode_fallback)(item, out)
+
+
+def _enc_tuple(value, out):
+    out.append(_TAG_TUPLE)
+    out.append(_pack_I(len(value)))
+    get = _ENCODERS.get
+    for item in value:
+        ((get(item.__class__)) or _encode_fallback)(item, out)
+
+
+def _enc_dict(value, out):
+    out.append(_TAG_DICT)
+    out.append(_pack_I(len(value)))
+    get = _ENCODERS.get
+    for key, item in value.items():
+        ((get(key.__class__)) or _encode_fallback)(key, out)
+        ((get(item.__class__)) or _encode_fallback)(item, out)
+
+
+_ENCODERS[type(None)] = _enc_none
+_ENCODERS[bool] = _enc_bool
+_ENCODERS[int] = _enc_int
+_ENCODERS[float] = _enc_float
+_ENCODERS[str] = _enc_str
+_ENCODERS[bytes] = _enc_bytes
+_ENCODERS[list] = _enc_list
+_ENCODERS[tuple] = _enc_tuple
+_ENCODERS[dict] = _enc_dict
+
+
+def _encode_fallback(value: Any, out: List[bytes]) -> None:
+    """Subclasses and unregistered types: the original isinstance walk."""
     if value is None:
         out.append(_TAG_NONE)
     elif value is True:
@@ -72,120 +242,195 @@ def _encode_into(value: Any, out: List[bytes]) -> None:
         out.append(_TAG_FALSE)
     elif isinstance(value, int):
         out.append(_TAG_INT)
-        out.append(struct.pack(">q", value))
+        out.append(_pack_q(value))
     elif isinstance(value, float):
         out.append(_TAG_FLOAT)
-        out.append(struct.pack(">d", value))
+        out.append(_pack_d(value))
     elif isinstance(value, str):
         raw = value.encode("utf-8")
         out.append(_TAG_STR)
-        out.append(struct.pack(">I", len(raw)))
+        out.append(_pack_I(len(raw)))
         out.append(raw)
     elif isinstance(value, bytes):
         out.append(_TAG_BYTES)
-        out.append(struct.pack(">I", len(value)))
+        out.append(_pack_I(len(value)))
         out.append(value)
     elif isinstance(value, list):
-        out.append(_TAG_LIST)
-        out.append(struct.pack(">I", len(value)))
-        for item in value:
-            _encode_into(item, out)
+        _enc_list(value, out)
     elif isinstance(value, tuple):
-        out.append(_TAG_TUPLE)
-        out.append(struct.pack(">I", len(value)))
-        for item in value:
-            _encode_into(item, out)
+        _enc_tuple(value, out)
     elif isinstance(value, dict):
-        out.append(_TAG_DICT)
-        out.append(struct.pack(">I", len(value)))
-        for key, item in value.items():
-            _encode_into(key, out)
-            _encode_into(item, out)
+        _enc_dict(value, out)
     else:
         wire_name = getattr(type(value), "_wire_name", None)
         if wire_name is None or wire_name not in _STRUCT_REGISTRY:
             raise MarshalError(f"cannot marshal {type(value).__name__}: {value!r}")
+        # a subclass of a registered struct: encode as the registered base
         _cls, fields = _STRUCT_REGISTRY[wire_name]
         raw = wire_name.encode("utf-8")
         out.append(_TAG_STRUCT)
-        out.append(struct.pack(">I", len(raw)))
+        out.append(_pack_I(len(raw)))
         out.append(raw)
+        get = _ENCODERS.get
         for field in fields:
-            _encode_into(getattr(value, field), out)
+            v = getattr(value, field)
+            ((get(v.__class__)) or _encode_fallback)(v, out)
 
 
 def encode(value: Any) -> bytes:
     """Encode ``value`` to its wire representation."""
     out: List[bytes] = []
-    _encode_into(value, out)
+    enc = _ENCODERS.get(value.__class__)
+    (enc or _encode_fallback)(value, out)
     return b"".join(out)
 
 
-class _Reader:
-    __slots__ = ("data", "pos")
+# ---------------------------------------------------------------------------
+# decoding
+# ---------------------------------------------------------------------------
 
-    def __init__(self, data: bytes):
-        self.data = data
-        self.pos = 0
+# tag bytes as ints (what ``data[pos]`` yields), ordered by hot-path frequency
+_B_INT = _TAG_INT[0]
+_B_STR = _TAG_STR[0]
+_B_FLOAT = _TAG_FLOAT[0]
+_B_NONE = _TAG_NONE[0]
+_B_STRUCT = _TAG_STRUCT[0]
+_B_DICT = _TAG_DICT[0]
+_B_TUPLE = _TAG_TUPLE[0]
+_B_LIST = _TAG_LIST[0]
+_B_TRUE = _TAG_TRUE[0]
+_B_FALSE = _TAG_FALSE[0]
+_B_BYTES = _TAG_BYTES[0]
 
-    def take(self, n: int) -> bytes:
-        if self.pos + n > len(self.data):
+
+def _decode_at(data: bytes, pos: int) -> Tuple[Any, int]:
+    tag = data[pos]
+    pos += 1
+    if tag == _B_INT:
+        return _unpack_q_from(data, pos)[0], pos + 8
+    if tag == _B_STR:
+        n = _unpack_I_from(data, pos)[0]
+        end = pos + 4 + n
+        raw = data[pos + 4 : end]
+        if len(raw) != n:
             raise MarshalError("truncated stream")
-        chunk = self.data[self.pos : self.pos + n]
-        self.pos += n
-        return chunk
-
-    def u32(self) -> int:
-        return struct.unpack(">I", self.take(4))[0]
-
-
-def _decode_from(reader: _Reader) -> Any:
-    tag = reader.take(1)
-    if tag == _TAG_NONE:
-        return None
-    if tag == _TAG_TRUE:
-        return True
-    if tag == _TAG_FALSE:
-        return False
-    if tag == _TAG_INT:
-        return struct.unpack(">q", reader.take(8))[0]
-    if tag == _TAG_FLOAT:
-        return struct.unpack(">d", reader.take(8))[0]
-    if tag == _TAG_STR:
-        return reader.take(reader.u32()).decode("utf-8")
-    if tag == _TAG_BYTES:
-        return reader.take(reader.u32())
-    if tag == _TAG_LIST:
-        return [_decode_from(reader) for _ in range(reader.u32())]
-    if tag == _TAG_TUPLE:
-        return tuple(_decode_from(reader) for _ in range(reader.u32()))
-    if tag == _TAG_DICT:
-        count = reader.u32()
-        result = {}
-        for _ in range(count):
-            key = _decode_from(reader)
-            result[key] = _decode_from(reader)
-        return result
-    if tag == _TAG_STRUCT:
-        name = reader.take(reader.u32()).decode("utf-8")
-        entry = _STRUCT_REGISTRY.get(name)
+        value = raw.decode("utf-8")
+        # short strings are overwhelmingly protocol identifiers (members,
+        # groups, kinds) used as dict keys downstream: intern them so hash
+        # and equality checks hit the pointer fast path
+        return (_intern(value) if n <= 16 else value), end
+    if tag == _B_FLOAT:
+        return _unpack_d_from(data, pos)[0], pos + 8
+    if tag == _B_NONE:
+        return None, pos
+    if tag == _B_STRUCT:
+        n = _unpack_I_from(data, pos)[0]
+        end = pos + 4 + n
+        raw = data[pos + 4 : end]
+        if len(raw) != n:
+            raise MarshalError("truncated stream")
+        entry = _STRUCT_DECODERS.get(raw)
         if entry is None:
-            raise MarshalError(f"unknown struct {name!r} on the wire")
-        cls, fields = entry
-        kwargs = {field: _decode_from(reader) for field in fields}
-        return cls(**kwargs)
-    raise MarshalError(f"unknown tag {tag!r}")
+            raise MarshalError(f"unknown struct {raw.decode('utf-8')!r} on the wire")
+        cls, fields, positional, nfields = entry
+        pos = end
+        values = []
+        append = values.append
+        for _ in range(nfields):
+            v, pos = _decode_at(data, pos)
+            append(v)
+        if positional:
+            return cls(*values), pos
+        return cls(**dict(zip(fields, values))), pos
+    if tag == _B_DICT:
+        n = _unpack_I_from(data, pos)[0]
+        pos += 4
+        result = {}
+        for _ in range(n):
+            key, pos = _decode_at(data, pos)
+            value, pos = _decode_at(data, pos)
+            result[key] = value
+        return result, pos
+    if tag == _B_TUPLE:
+        n = _unpack_I_from(data, pos)[0]
+        pos += 4
+        values = []
+        append = values.append
+        for _ in range(n):
+            v, pos = _decode_at(data, pos)
+            append(v)
+        return tuple(values), pos
+    if tag == _B_LIST:
+        n = _unpack_I_from(data, pos)[0]
+        pos += 4
+        values = []
+        append = values.append
+        for _ in range(n):
+            v, pos = _decode_at(data, pos)
+            append(v)
+        return values, pos
+    if tag == _B_TRUE:
+        return True, pos
+    if tag == _B_FALSE:
+        return False, pos
+    if tag == _B_BYTES:
+        n = _unpack_I_from(data, pos)[0]
+        end = pos + 4 + n
+        raw = data[pos + 4 : end]
+        if len(raw) != n:
+            raise MarshalError("truncated stream")
+        return raw, end
+    raise MarshalError(f"unknown tag {bytes((tag,))!r}")
 
 
 def decode(data: bytes) -> Any:
     """Decode a value previously produced by :func:`encode`."""
-    reader = _Reader(data)
-    value = _decode_from(reader)
-    if reader.pos != len(data):
+    try:
+        value, pos = _decode_at(data, 0)
+    except IndexError:
+        raise MarshalError("truncated stream") from None
+    except struct.error:
+        raise MarshalError("truncated stream") from None
+    if pos != len(data):
         raise MarshalError("trailing bytes after value")
     return value
 
 
+# ---------------------------------------------------------------------------
+# sizing
+# ---------------------------------------------------------------------------
+
 def wire_size(value: Any) -> int:
-    """Encoded size in bytes (convenience for sizing without sending)."""
+    """Encoded size in bytes, computed without building the byte string."""
+    t = value.__class__
+    if t is int or t is float:
+        return 9
+    if t is str:
+        # utf-8 length == str length for ASCII, the overwhelming case
+        return 5 + (len(value) if value.isascii() else len(value.encode("utf-8")))
+    if t is bool or value is None:
+        return 1
+    if t is list or t is tuple:
+        n = 5
+        for item in value:
+            n += wire_size(item)
+        return n
+    if t is dict:
+        n = 5
+        for key, item in value.items():
+            n += wire_size(key) + wire_size(item)
+        return n
+    if t is bytes:
+        return 5 + len(value)
+    sizer = _STRUCT_SIZERS.get(t)
+    if sizer is not None:
+        header_len, getter, nfields = sizer
+        if nfields == 1:
+            return header_len + wire_size(getter(value))
+        n = header_len
+        for v in getter(value):
+            n += wire_size(v)
+        return n
+    # subclasses and oddballs: fall back to encoding (raises MarshalError
+    # for unencodable values, exactly like encode would)
     return len(encode(value))

@@ -53,6 +53,17 @@ class ORB:
         self._request_ids = itertools.count(1)
         self._pending: Dict[int, Future] = {}
         self._interceptors: List[Any] = []
+        # oneway invocations all resolve with None the moment the request is
+        # handed to the transport: hand every caller the same already-resolved
+        # future instead of allocating one per send (callbacks on a resolved
+        # future fire immediately and are never stored)
+        self._oneway_done = Future(name="oneway")
+        self._oneway_done.resolve(None)
+        # (servant, operation) -> bound method / dispatch cost, resolved once
+        # instead of per request; servants live as long as their node, so the
+        # strong refs held by the keys are harmless
+        self._method_cache: Dict[int, Tuple[Any, Dict[str, Any]]] = {}
+        self._cost_cache: Dict[int, Tuple[Any, Dict[str, float]]] = {}
         node.register(self.SERVICE, self._on_message)
 
     # ------------------------------------------------------------------
@@ -104,15 +115,14 @@ class ORB:
         request_id = next(self._request_ids)
         reply_node = "" if oneway else self.node.name
         request = Request(request_id, target.key, operation, tuple(args), oneway, reply_node)
-        self._notify("on_send_request", request, target)
+        if self._interceptors:
+            self._notify("on_send_request", request, target)
         data = marshal.encode(request)
         size = len(data) + GIOP_OVERHEAD
 
         if oneway:
             self.node.send(target.node, self.SERVICE, data, size, kind=net_kind)
-            done = Future(name=f"oneway:{operation}")
-            done.resolve(None)
-            return done
+            return self._oneway_done
 
         fut = Future(name=f"invoke:{target.node}.{operation}#{request_id}")
         self._pending[request_id] = fut
@@ -165,7 +175,8 @@ class ORB:
             self._handle_reply(message)
 
     def _handle_request(self, src: str, request: Request) -> None:
-        self._notify("on_receive_request", request, src)
+        if self._interceptors:
+            self._notify("on_receive_request", request, src)
         adapter_name, _, object_id = request.object_key.partition("/")
         poa = self._adapters.get(adapter_name)
         servant = poa.servant(object_id) if poa else None
@@ -173,7 +184,15 @@ class ORB:
             if not request.oneway:
                 self._send_reply(request, STATUS_NOT_FOUND, request.object_key)
             return
-        cost = DISPATCH_OVERHEAD + poa.servant_cost(servant, request.operation)
+        operation = request.operation
+        cached = self._cost_cache.get(id(servant))
+        if cached is None or cached[0] is not servant:
+            cached = self._cost_cache[id(servant)] = (servant, {})
+        cost = cached[1].get(operation)
+        if cost is None:
+            cost = cached[1][operation] = (
+                DISPATCH_OVERHEAD + poa.servant_cost(servant, operation)
+            )
         done: Optional[Future] = None
         if not request.oneway:
             done = Future(name=f"dispatch:{request.operation}#{request.request_id}")
@@ -195,15 +214,21 @@ class ORB:
         A servant method may return a :class:`Future` to defer its reply —
         the request-manager machinery in the invocation layer relies on this.
         """
-        if operation.startswith("_"):
-            if done:
-                done.fail(BadOperation(operation))
-            return
-        method = getattr(servant, operation, None)
-        if method is None or not callable(method):
-            if done:
-                done.fail(BadOperation(f"{type(servant).__name__}.{operation}"))
-            return
+        cached = self._method_cache.get(id(servant))
+        if cached is None or cached[0] is not servant:
+            cached = self._method_cache[id(servant)] = (servant, {})
+        method = cached[1].get(operation)
+        if method is None:
+            if operation.startswith("_"):
+                if done:
+                    done.fail(BadOperation(operation))
+                return
+            method = getattr(servant, operation, None)
+            if method is None or not callable(method):
+                if done:
+                    done.fail(BadOperation(f"{type(servant).__name__}.{operation}"))
+                return
+            cached[1][operation] = method
         try:
             result = method(*args)
         except Exception as exc:  # noqa: BLE001 - servant errors go to caller

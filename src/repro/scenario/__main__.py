@@ -19,6 +19,7 @@ import json
 import sys
 from typing import List
 
+from repro.bench.profiling import DEFAULT_TOP, profiled
 from repro.scenario.runner import ScenarioError, run_scenario
 from repro.scenario.spec import load_spec
 
@@ -32,7 +33,8 @@ def _run(args) -> int:
     failed = False
     for path in args.specs:
         try:
-            report = run_scenario(path)
+            with profiled(args.profile, label=path):
+                report = run_scenario(path)
         except (ScenarioError, ValueError, OSError) as exc:
             print(f"error: {path}: {exc}", file=sys.stderr)
             return 2
@@ -83,6 +85,16 @@ def main(argv=None) -> int:
     run_parser.add_argument("--output", "-o", metavar="PATH", help="write report JSON")
     run_parser.add_argument(
         "--quiet", "-q", action="store_true", help="one PASS/FAIL line per scenario"
+    )
+    run_parser.add_argument(
+        "--profile",
+        type=int,
+        metavar="N",
+        nargs="?",
+        const=DEFAULT_TOP,
+        default=None,
+        help="run each scenario under cProfile and print the top N entries "
+        f"by cumulative time (default {DEFAULT_TOP})",
     )
     run_parser.set_defaults(fn=_run)
 

@@ -54,6 +54,8 @@ class ScheduledEvent:
         self.cancelled = True
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
+        # the kernel heap orders (time, seq, ev) tuples, so heap operations
+        # compare at C speed and never reach this; kept for direct users
         return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -75,7 +77,9 @@ class Simulator:
 
     def __init__(self, seed: int = 0, obs: Optional[Observability] = None):
         self._now = 0.0
-        self._queue: List[ScheduledEvent] = []
+        # heap of (time, seq, event): seq is unique, so comparisons resolve
+        # on the first two slots at C speed without calling Python __lt__
+        self._queue: List[Tuple[float, int, ScheduledEvent]] = []
         self._seq = itertools.count()
         self._rngs = RngRegistry(seed)
         self.seed = seed
@@ -119,8 +123,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time} before now={self._now}"
             )
-        ev = ScheduledEvent(time, next(self._seq), fn, args, self._tracer.ctx)
-        heapq.heappush(self._queue, ev)
+        seq = next(self._seq)
+        ev = ScheduledEvent(time, seq, fn, args, self._tracer.ctx)
+        heapq.heappush(self._queue, (time, seq, ev))
         return ev
 
     def call_soon(self, fn: Callable, *args: Any) -> ScheduledEvent:
@@ -130,23 +135,54 @@ class Simulator:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def _run_loop(self, until: Optional[float], max_events: Optional[int]) -> Tuple[int, bool]:
+        """The single event-execution loop behind :meth:`step` and
+        :meth:`run`: pop ready events (skipping cancelled ones), advance the
+        clock, and invoke callbacks under the scheduled trace context.
+
+        Returns ``(executed, hit_cap)`` where ``hit_cap`` means the
+        ``max_events`` budget stopped the loop while runnable events remain.
+
+        Fast path: when neither the event nor the caller carries a trace
+        context (the common case with tracing off or unsampled), the tracer
+        save/restore is skipped entirely — no per-event allocation, no
+        try/finally.
+        """
+        queue = self._queue
+        tracer = self._tracer
+        heappop = heapq.heappop
+        executed = 0
+        while queue:
+            time, _seq, ev = queue[0]
+            if ev.cancelled:
+                heappop(queue)
+                continue
+            if until is not None and time > until:
+                break
+            if max_events is not None and executed >= max_events:
+                # events <= until remain unprocessed: the clock must NOT
+                # jump to until, or they would fire "in the past"
+                return executed, True
+            heappop(queue)
+            self._now = time
+            self._events_processed += 1
+            executed += 1
+            ctx = ev.ctx
+            if ctx is None and tracer.ctx is None:
+                ev.fn(*ev.args)
+            else:
+                prev_ctx = tracer.ctx
+                tracer.ctx = ctx
+                try:
+                    ev.fn(*ev.args)
+                finally:
+                    tracer.ctx = prev_ctx
+        return executed, False
+
     def step(self) -> bool:
         """Execute the next pending event.  Return False if the queue is empty."""
-        tracer = self._tracer
-        while self._queue:
-            ev = heapq.heappop(self._queue)
-            if ev.cancelled:
-                continue
-            self._now = ev.time
-            self._events_processed += 1
-            prev_ctx = tracer.ctx
-            tracer.ctx = ev.ctx
-            try:
-                ev.fn(*ev.args)
-            finally:
-                tracer.ctx = prev_ctx
-            return True
-        return False
+        executed, _hit_cap = self._run_loop(None, 1)
+        return executed > 0
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run events until the queue drains, ``until`` is reached, or
@@ -159,32 +195,8 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
-        executed = 0
-        hit_cap = False
-        tracer = self._tracer
         try:
-            while self._queue:
-                ev = self._queue[0]
-                if ev.cancelled:
-                    heapq.heappop(self._queue)
-                    continue
-                if until is not None and ev.time > until:
-                    break
-                if max_events is not None and executed >= max_events:
-                    # events <= until remain unprocessed: the clock must NOT
-                    # jump to until, or they would fire "in the past"
-                    hit_cap = True
-                    break
-                heapq.heappop(self._queue)
-                self._now = ev.time
-                self._events_processed += 1
-                executed += 1
-                prev_ctx = tracer.ctx
-                tracer.ctx = ev.ctx
-                try:
-                    ev.fn(*ev.args)
-                finally:
-                    tracer.ctx = prev_ctx
+            _executed, hit_cap = self._run_loop(until, max_events)
             if until is not None and not hit_cap and self._now < until:
                 self._now = until
         finally:
@@ -192,13 +204,14 @@ class Simulator:
 
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or None if the queue is empty."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
+        queue = self._queue
+        while queue and queue[0][2].cancelled:
+            heapq.heappop(queue)
+        return queue[0][0] if queue else None
 
     def pending_count(self) -> int:
         """Number of non-cancelled scheduled events (O(n); diagnostics only)."""
-        return sum(1 for ev in self._queue if not ev.cancelled)
+        return sum(1 for _t, _s, ev in self._queue if not ev.cancelled)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Simulator t={self._now:.6f} pending={len(self._queue)}>"

@@ -2,15 +2,35 @@
 
 Entry point: :class:`NewTopService` (one per node) — host replicated
 services (``serve``), bind to them as a client with closed or open groups
-(``bind``), invoke group-to-group (``bind_group_to_group``), or run peer
-participation groups (``create_peer_group``).
+(``bind``), invoke group-to-group (``bind_group_to_group``), run peer
+participation groups (``create_peer_group``), or configure a cell of the
+invocation-scheme × reply-scheme matrix (``SchemeConfig`` on ``bind``,
+combined cohorts via ``bind_combined``).
 """
 
 from repro.core.client import GroupBinding, InvocationResult
+from repro.core.combined import CombinedBinding
 from repro.core.group_to_group import GroupToGroupBinding
-from repro.core.messages import InvokeMsg, ReplyMsg, ReplySet, StateUpdate
-from repro.core.modes import BindingStyle, Mode, ReplicationPolicy, replies_needed
+from repro.core.messages import (
+    CombinedReply,
+    Contribution,
+    ForwardedReply,
+    InvokeMsg,
+    ReplyMsg,
+    ReplySet,
+    ScatterArgs,
+    StateUpdate,
+)
+from repro.core.modes import (
+    BindingStyle,
+    InvocationScheme,
+    Mode,
+    ReplicationPolicy,
+    ReplyScheme,
+    replies_needed,
+)
 from repro.core.registry import ServiceRegistry, client_sink_id, server_servant_id
+from repro.core.scheme import REDUCERS, Reducer, SchemeConfig, resolve_reducer
 from repro.core.server import ObjectGroupServer
 from repro.core.service import NewTopService
 
@@ -18,17 +38,28 @@ __all__ = [
     "NewTopService",
     "ObjectGroupServer",
     "GroupBinding",
+    "CombinedBinding",
     "GroupToGroupBinding",
     "InvocationResult",
     "Mode",
     "BindingStyle",
     "ReplicationPolicy",
+    "InvocationScheme",
+    "ReplyScheme",
+    "SchemeConfig",
+    "Reducer",
+    "REDUCERS",
+    "resolve_reducer",
     "replies_needed",
     "ServiceRegistry",
     "InvokeMsg",
     "ReplyMsg",
     "ReplySet",
     "StateUpdate",
+    "ScatterArgs",
+    "Contribution",
+    "CombinedReply",
+    "ForwardedReply",
     "client_sink_id",
     "server_servant_id",
 ]

@@ -19,10 +19,11 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core.messages import InvokeMsg, ReplyMsg, ReplySet
-from repro.core.modes import BindingStyle, Mode, replies_needed
-from repro.core.registry import server_servant_id
-from repro.errors import ApplicationError, BindingBroken, CommFailure
+from repro.core.messages import ForwardedReply, InvokeMsg, ReplyMsg, ReplySet, ScatterArgs
+from repro.core.modes import BindingStyle, InvocationScheme, Mode, ReplyScheme, replies_needed
+from repro.core.registry import client_sink_id, server_servant_id
+from repro.core.scheme import SchemeConfig, reduce_sorted, scatter_parts
+from repro.errors import ApplicationError, BindingBroken, CommFailure, ConfigurationError
 from repro.groupcomm.config import (
     GroupConfig,
     Liveliness,
@@ -120,9 +121,15 @@ class GroupBinding:
         retry_policy: Optional[RetryPolicy] = None,
         trace_sample: Optional[float] = None,
         metric_tag: Optional[str] = None,
+        scheme: Optional[SchemeConfig] = None,
     ):
         if style not in BindingStyle.ALL_STYLES:
             raise ValueError(f"unknown binding style {style!r}")
+        if scheme is not None and scheme.is_combined:
+            raise ConfigurationError(
+                f"combined scheme {scheme.invocation!r} needs a CombinedBinding "
+                f"(service.bind_combined), not a plain GroupBinding"
+            )
         if trace_sample is not None and not 0.0 <= trace_sample <= 1.0:
             raise ValueError(f"trace_sample must be in [0, 1], got {trace_sample}")
         self.service = service
@@ -149,6 +156,9 @@ class GroupBinding:
         #: extra metrics dimension (the shard layer tags each sub-binding so
         #: latency/phase histograms and spans are attributable per shard)
         self.metric_tag = metric_tag
+        #: invocation-scheme × reply-scheme cell this binding runs in
+        #: (``None``: the plain single/return-replies behaviour)
+        self.scheme = scheme
 
         obs = service.sim.obs
         self._tracer = obs.tracer
@@ -168,6 +178,12 @@ class GroupBinding:
         else:
             self._tag_latency_hist = None
             self._tag_phase_hists = None
+        if scheme is not None:
+            self._gmi_scatter_hist = obs.metrics.histogram("gmi.scatter.width")
+            self._gmi_reduce_inputs = obs.metrics.histogram("gmi.reduce.inputs")
+            self._gmi_reduce_latency = obs.metrics.histogram("gmi.reduce.latency")
+            self._gmi_forward_counter = obs.metrics.counter("gmi.forwarded")
+        self._forward_seq = 0
         self._invocations_counter = obs.metrics.counter("client.invocations")
         self._rebind_counter = obs.metrics.counter("client.rebinds")
         self._timeout_counter = obs.metrics.counter("client.timeouts")
@@ -304,14 +320,122 @@ class GroupBinding:
         self,
         operation: str,
         args: Tuple = (),
-        mode: str = Mode.ALL,
+        mode: Optional[str] = None,
         timeout: Optional[float] = None,
+        parts: Any = None,
     ) -> Future:
         """Invoke the replicated service.
 
-        Resolves with an :class:`InvocationResult` (or ``None`` for
-        one-way sends).  ``timeout`` bounds the wait in virtual seconds.
+        Without a scheme on the binding this resolves with an
+        :class:`InvocationResult` (or ``None`` for one-way sends); with one,
+        the reply scheme shapes the outcome — ``return_one`` resolves the
+        chosen reply *value*, ``combine`` the reduced value, ``discard`` and
+        ``forward`` resolve ``None``.  ``parts`` (personalized scheme only)
+        is the member->args scatter: a mapping or a ``member -> args``
+        callable; the positional ``args`` become the default part for
+        members outside the plan.  ``timeout`` bounds the wait in virtual
+        seconds.
         """
+        scheme = self.scheme
+        if scheme is None:
+            if parts is not None:
+                raise ConfigurationError(
+                    "parts= requires a binding with a personalized scheme"
+                )
+            return self._invoke_plain(operation, args, mode or Mode.ALL, timeout)
+        if mode is None:
+            mode = scheme.default_mode()
+        if scheme.reply == ReplyScheme.DISCARD:
+            mode = Mode.ONE_WAY  # nobody waits, whatever mode was asked for
+        if scheme.invocation == InvocationScheme.PERSONALIZED:
+            if parts is None:
+                raise ConfigurationError(
+                    "personalized invocation requires parts=<member->args>"
+                )
+            plan = scatter_parts(self._scatter_targets(), parts)
+            self._gmi_scatter_hist.record(len(plan))
+            args = (ScatterArgs(plan, tuple(args)),)
+        elif parts is not None:
+            raise ConfigurationError(
+                f"parts= given but the invocation scheme is {scheme.invocation!r}"
+            )
+        inner = self._invoke_plain(operation, tuple(args), mode, timeout)
+        return self._shape_reply(operation, inner)
+
+    def _scatter_targets(self) -> List[str]:
+        """The members a personalized scatter must cover right now."""
+        if (
+            self.style == BindingStyle.CLOSED
+            and self._gc is not None
+            and self._gc.view is not None
+        ):
+            return [m for m in self._gc.view.members if m != self.client_id]
+        return list(self.servers)
+
+    def _shape_reply(self, operation: str, inner: Future) -> Future:
+        """Apply the binding's reply scheme to a gathered-replies future."""
+        reply = self.scheme.reply
+        if reply == ReplyScheme.DISCARD:
+            return inner  # one-way path: already resolved with None
+        outer = Future(name=f"{reply}:{operation}@{self.client_id}")
+        issued_at = self.sim.now
+
+        def shape(fut: Future) -> None:
+            if reply == ReplyScheme.FORWARD:
+                self._forward_reply(operation, fut)
+                outer.try_resolve(None)
+                return
+            if fut.failed:
+                outer.try_fail(fut.exception)
+                return
+            result = fut.result()
+            if result is None:  # one-way mode under a value-bearing scheme
+                outer.try_resolve(None)
+                return
+            try:
+                if reply == ReplyScheme.COMBINE:
+                    by_member = result.by_member()
+                    if not by_member:
+                        raise ApplicationError("no successful replies to combine")
+                    self._gmi_reduce_inputs.record(len(by_member))
+                    value = reduce_sorted(self.scheme.reducer, by_member)
+                    self._gmi_reduce_latency.record(self.sim.now - issued_at)
+                else:  # RETURN_ONE
+                    value = result.value
+            except Exception as exc:  # noqa: BLE001 - servant/reducer error
+                outer.try_fail(exc)
+                return
+            outer.try_resolve(value)
+
+        inner.add_done_callback(shape)
+        return outer
+
+    def _forward_reply(self, operation: str, fut: Future) -> None:
+        """Hand the gathered reply to the scheme's forward target."""
+        if fut.failed:
+            ok, value = False, str(fut.exception)
+        else:
+            result = fut.result()
+            try:
+                ok, value = True, (result.value if result is not None else None)
+            except Exception as exc:  # noqa: BLE001 - all replies failed
+                ok, value = False, str(exc)
+        self._forward_seq += 1
+        forwarded = ForwardedReply(
+            self.client_id, self.service_name, operation, self._forward_seq, ok, value
+        )
+        target = self.scheme.forward_to
+        sink = IOR(target, "RootPOA", client_sink_id(target))
+        self.orb.invoke(sink, "deliver_forwarded", (forwarded,), oneway=True)
+        self._gmi_forward_counter.inc()
+
+    def _invoke_plain(
+        self,
+        operation: str,
+        args: Tuple = (),
+        mode: str = Mode.ALL,
+        timeout: Optional[float] = None,
+    ) -> Future:
         if self._closed:
             done = Future()
             done.fail(BindingBroken("binding closed"))
@@ -378,7 +502,12 @@ class GroupBinding:
             else:
                 outcome = fut.result()
                 try:
-                    result.resolve(outcome.value if outcome is not None else None)
+                    # scheme-shaped outcomes are already plain values
+                    result.resolve(
+                        outcome.value
+                        if isinstance(outcome, InvocationResult)
+                        else outcome
+                    )
                 except Exception as exc:  # noqa: BLE001 - servant error
                     result.fail(exc)
 

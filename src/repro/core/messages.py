@@ -7,11 +7,21 @@ marshallable structs.
 
 from __future__ import annotations
 
-from typing import Any, List, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.orb.marshal import corba_struct
 
-__all__ = ["InvokeMsg", "ReplyMsg", "ReplySet", "StateUpdate", "StateSnapshot"]
+__all__ = [
+    "InvokeMsg",
+    "ReplyMsg",
+    "ReplySet",
+    "StateUpdate",
+    "StateSnapshot",
+    "ScatterArgs",
+    "Contribution",
+    "CombinedReply",
+    "ForwardedReply",
+]
 
 
 @corba_struct
@@ -133,3 +143,103 @@ class StateSnapshot:
         self.servant_state = servant_state
         self.reply_sets = list(reply_sets)
         self.own_replies = list(own_replies)
+
+
+@corba_struct
+class ScatterArgs:
+    """Personalized-invocation payload: the per-member argument scatter.
+
+    Travels as the *single argument* of an ordinary :class:`InvokeMsg`, so
+    the session protocol and the InvokeMsg wire format stay untouched; each
+    member picks its own part at execution time.  Members absent from the
+    plan (e.g. joined after the scatter was built) run ``default``.
+    """
+
+    __slots__ = ("parts", "default")
+    _fields = __slots__
+
+    def __init__(self, parts: Dict[str, Tuple], default: Tuple):
+        self.parts = {member: tuple(args) for member, args in parts.items()}
+        self.default = tuple(default)
+
+    def part_for(self, member: str) -> Tuple:
+        part = self.parts.get(member)
+        return tuple(part) if part is not None else self.default
+
+    def __repr__(self) -> str:
+        return f"<ScatterArgs {sorted(self.parts)}>"
+
+
+@corba_struct
+class Contribution:
+    """One (partially combined) share of a combined invocation.
+
+    ``parts`` is a rank-keyed list of ``(rank, args)`` pairs — the leaves
+    this share covers, always kept in rank order so merging is
+    deterministic wherever it happens.  With an argument reducer, a
+    combining node folds its segment down to a single pair; ``count``
+    keeps the leaf tally the rendezvous accounting needs either way.
+    """
+
+    __slots__ = ("combine_id", "call_no", "rank", "parts", "count")
+    _fields = __slots__
+
+    def __init__(
+        self, combine_id: str, call_no: int, rank: int, parts: List, count: int
+    ):
+        self.combine_id = combine_id
+        self.call_no = call_no
+        self.rank = rank
+        self.parts = [(int(r), tuple(args)) for r, args in parts]
+        self.count = count
+
+    def __repr__(self) -> str:
+        return (
+            f"<Contribution {self.combine_id}#{self.call_no} "
+            f"rank={self.rank} count={self.count}>"
+        )
+
+
+@corba_struct
+class CombinedReply:
+    """The root's outcome of one combined call, fanned back to the cohort."""
+
+    __slots__ = ("combine_id", "call_no", "ok", "value")
+    _fields = __slots__
+
+    def __init__(self, combine_id: str, call_no: int, ok: bool, value: Any):
+        self.combine_id = combine_id
+        self.call_no = call_no
+        self.ok = ok
+        self.value = value
+
+
+@corba_struct
+class ForwardedReply:
+    """A gathered reply delivered to a third party (reply scheme ``forward``).
+
+    ``origin`` is the invoking client (combined calls: the root), so the
+    forward target can attribute what it receives.
+    """
+
+    __slots__ = ("origin", "service", "operation", "call_no", "ok", "value")
+    _fields = __slots__
+
+    def __init__(
+        self,
+        origin: str,
+        service: str,
+        operation: str,
+        call_no: int,
+        ok: bool,
+        value: Any,
+    ):
+        self.origin = origin
+        self.service = service
+        self.operation = operation
+        self.call_no = call_no
+        self.ok = ok
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"<ForwardedReply {self.service}.{self.operation} from {self.origin}>"

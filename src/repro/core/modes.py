@@ -14,7 +14,14 @@
 
 from __future__ import annotations
 
-__all__ = ["Mode", "BindingStyle", "ReplicationPolicy", "replies_needed"]
+__all__ = [
+    "Mode",
+    "BindingStyle",
+    "ReplicationPolicy",
+    "InvocationScheme",
+    "ReplyScheme",
+    "replies_needed",
+]
 
 
 class Mode:
@@ -44,6 +51,48 @@ class ReplicationPolicy:
     PASSIVE = "passive"
 
     ALL_POLICIES = (ACTIVE, PASSIVE)
+
+
+class InvocationScheme:
+    """How callers map onto one group invocation (GMI terminology).
+
+    Orthogonal to :class:`Mode` and :class:`BindingStyle`:
+
+    - ``single`` — one caller, identical parameters at every member (the
+      paper's plain group invocation);
+    - ``personalized`` — one caller, per-member parameter scatter;
+    - ``combined_flat`` — N callers rendezvous into *one* group call, every
+      contribution travelling straight to the rank-0 root;
+    - ``combined_tree`` — the same rendezvous over a binary combining tree
+      (partial combines on the way up; the root's fan-in stays constant).
+    """
+
+    SINGLE = "single"
+    PERSONALIZED = "personalized"
+    COMBINED_FLAT = "combined_flat"
+    COMBINED_TREE = "combined_tree"
+
+    ALL_SCHEMES = (SINGLE, PERSONALIZED, COMBINED_FLAT, COMBINED_TREE)
+    COMBINED_SCHEMES = (COMBINED_FLAT, COMBINED_TREE)
+
+
+class ReplyScheme:
+    """What happens to the replies of one (possibly combined) invocation.
+
+    - ``discard`` — nobody waits; the call degenerates to a one-way send;
+    - ``return_one`` — the caller gets one member's reply value;
+    - ``forward`` — the gathered reply is handed to a third party, not the
+      caller(s);
+    - ``combine`` — the per-member reply values are folded through a
+      reducer (validated at bind time) into one value for every caller.
+    """
+
+    DISCARD = "discard"
+    RETURN_ONE = "return_one"
+    FORWARD = "forward"
+    COMBINE = "combine"
+
+    ALL_SCHEMES = (DISCARD, RETURN_ONE, FORWARD, COMBINE)
 
 
 def replies_needed(mode: str, group_size: int) -> int:

@@ -19,7 +19,14 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core.messages import InvokeMsg, ReplyMsg, ReplySet, StateSnapshot, StateUpdate
+from repro.core.messages import (
+    InvokeMsg,
+    ReplyMsg,
+    ReplySet,
+    ScatterArgs,
+    StateSnapshot,
+    StateUpdate,
+)
 from repro.core.modes import Mode, ReplicationPolicy, replies_needed
 from repro.core.registry import client_sink_id, server_servant_id
 from repro.errors import GroupError
@@ -670,8 +677,13 @@ class ObjectGroupServer:
             done(ReplyMsg(invoke.client, invoke.call_no, self.member_id, False,
                           f"bad operation {invoke.operation!r}"))
             return
+        args = invoke.args
+        if len(args) == 1 and isinstance(args[0], ScatterArgs):
+            # personalized invocation: every member got the same multicast,
+            # each executes its own slice of the argument scatter
+            args = args[0].part_for(self.member_id)
         try:
-            value = method(*invoke.args)
+            value = method(*args)
         except Exception as exc:  # noqa: BLE001 - propagate to the client
             done(ReplyMsg(invoke.client, invoke.call_no, self.member_id, False, str(exc)))
             return

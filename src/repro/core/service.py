@@ -17,9 +17,11 @@ import itertools
 from typing import Any, Dict, List, Optional
 
 from repro.core.client import GroupBinding
+from repro.core.combined import CombinedBinding
 from repro.core.group_to_group import GroupToGroupBinding
-from repro.core.messages import ReplyMsg
+from repro.core.messages import ForwardedReply, ReplyMsg
 from repro.core.modes import BindingStyle, ReplicationPolicy
+from repro.core.scheme import SchemeConfig
 from repro.core.registry import ServiceRegistry, client_sink_id
 from repro.core.server import ObjectGroupServer
 from repro.errors import GroupError
@@ -41,15 +43,19 @@ __all__ = ["NewTopService"]
 
 
 class _ClientSink:
-    """Receives closed-group replies sent point-to-point by servers."""
+    """Receives closed-group replies sent point-to-point by servers, and
+    replies forwarded to this node by a third party's ``forward`` scheme."""
 
-    OP_COSTS = {"deliver_reply": 20e-6}
+    OP_COSTS = {"deliver_reply": 20e-6, "deliver_forwarded": 20e-6}
 
     def __init__(self, service: "NewTopService"):
         self._service = service
 
     def deliver_reply(self, reply: ReplyMsg) -> None:
         self._service._on_direct_reply(reply)
+
+    def deliver_forwarded(self, reply: ForwardedReply) -> None:
+        self._service._on_forwarded(reply)
 
 
 class NewTopService:
@@ -68,6 +74,11 @@ class NewTopService:
         self._binding_epochs = itertools.count(1)
         self._pending_routes: Dict[int, GroupBinding] = {}
         self.servers: Dict[str, ObjectGroupServer] = {}
+        #: replies forwarded here by other bindings' ``forward`` reply
+        #: scheme, newest last (bounded), plus an optional push handler
+        self.forwarded: List[ForwardedReply] = []
+        self._forwarded_handler = None
+        self._forwarded_counter = self.sim.obs.metrics.counter("gmi.forwarded.received")
         orb.register(_ClientSink(self), object_id=client_sink_id(self.name))
 
     # ------------------------------------------------------------------
@@ -194,8 +205,14 @@ class NewTopService:
         ordering_config: Optional[OrderingConfig] = None,
         retry_policy: Optional[RetryPolicy] = None,
         trace_sample: Optional[float] = None,
+        scheme: Optional[SchemeConfig] = None,
     ) -> GroupBinding:
-        """Bind to a replicated service.  Await ``binding.ready``."""
+        """Bind to a replicated service.  Await ``binding.ready``.
+
+        ``scheme`` selects a cell of the invocation-scheme × reply-scheme
+        matrix (single/personalized × discard/return_one/forward/combine);
+        combined schemes go through :meth:`bind_combined` instead.
+        """
         return GroupBinding(
             self,
             service_name,
@@ -212,7 +229,23 @@ class NewTopService:
             ordering_config=ordering_config,
             retry_policy=retry_policy,
             trace_sample=trace_sample,
+            scheme=scheme,
         )
+
+    def bind_combined(
+        self,
+        service_name: str,
+        scheme: SchemeConfig,
+        **bind_kwargs: Any,
+    ) -> CombinedBinding:
+        """Bind this node's share of a combined invocation cohort.
+
+        Every member of ``scheme.callers`` must call this with the same
+        scheme; only the rank-0 root actually binds to the service (extra
+        keyword arguments configure that underlying binding).  Await
+        ``binding.ready``.
+        """
+        return CombinedBinding(self, service_name, scheme, **bind_kwargs)
 
     def bind_sharded(
         self,
@@ -282,6 +315,21 @@ class NewTopService:
         binding = self._pending_routes.get(reply.call_no)
         if binding is not None:
             binding.on_direct_reply(reply)
+
+    # ------------------------------------------------------------------
+    # forwarded replies (reply scheme ``forward``)
+    # ------------------------------------------------------------------
+    def on_forwarded(self, handler) -> None:
+        """Install a callback for replies forwarded to this node."""
+        self._forwarded_handler = handler
+
+    def _on_forwarded(self, reply: ForwardedReply) -> None:
+        self._forwarded_counter.inc()
+        self.forwarded.append(reply)
+        if len(self.forwarded) > 256:
+            self.forwarded.pop(0)
+        if self._forwarded_handler is not None:
+            self._forwarded_handler(reply)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<NewTopService {self.name}>"

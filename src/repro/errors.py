@@ -9,6 +9,7 @@ __all__ = [
     "BadOperation",
     "ApplicationError",
     "GroupError",
+    "ConfigurationError",
     "NotMember",
     "BindingBroken",
     "NoQuorum",
@@ -51,6 +52,16 @@ class NotMember(GroupError):
 
 class BindingBroken(GroupError):
     """An open-group binding lost its request manager (view change)."""
+
+
+class ConfigurationError(GroupError):
+    """An invocation-scheme configuration is invalid (unknown scheme,
+    missing reducer, reducer that fails the combining laws, ...).
+
+    Raised at *bind* time, following the GMI exemplar: a bad scheme must
+    surface when the binding is configured, never as a wrong answer after
+    replies have been combined.
+    """
 
 
 class NoQuorum(GroupError):

@@ -20,9 +20,10 @@ from repro.bench.env import Environment
 from repro.bench.stats import summarize
 from repro.bench.workloads import PeerTracker, run_until_done
 from repro.apps.chat import make_peer_config
+from repro.apps.mapreduce import MapReduceServant
 from repro.apps.randserver import RandomNumberServant
 from repro.apps.sharded_kvstore import ShardKVServant, ShardedKVClient
-from repro.core.modes import BindingStyle
+from repro.core.modes import BindingStyle, InvocationScheme
 from repro.groupcomm.config import GroupConfig, Liveliness
 from repro.obs import Observability
 from repro.obs.phases import PHASE_NAMES
@@ -34,6 +35,7 @@ from repro.scenario.slo import SloContext, build_slos, evaluate_slos
 from repro.scenario.spec import ScenarioSpec, load_spec
 from repro.scenario.traffic import OpenLoopGenerator, Population
 from repro.sim import Future, with_timeout
+from repro.sim.process import all_of
 
 __all__ = ["run_scenario", "ScenarioError", "REPORT_VERSION"]
 
@@ -74,6 +76,9 @@ def run_scenario(source, obs=None) -> Dict:
         recovery = None  # peer groups have no server-side state to restore
     elif spec.traffic.workload == "sharded_kvstore":
         issuers, resolve_target = _setup_sharded(env, spec)
+        recovery = RecoveryManager(sim, env.net, env.services, SERVICE_NAME)
+    elif spec.traffic.workload == "map_reduce":
+        issuers, resolve_target = _setup_map_reduce(env, spec)
         recovery = RecoveryManager(sim, env.net, env.services, SERVICE_NAME)
     else:
         issuers, resolve_target = _setup_request_reply(env, spec)
@@ -183,7 +188,7 @@ def run_scenario(source, obs=None) -> Dict:
                 if name.split(".", 1)[0]
                 in (
                     "gc", "net", "client", "server", "scenario", "recovery",
-                    "obs", "shard",
+                    "obs", "shard", "gmi",
                 )
             },
             "histograms": {
@@ -195,6 +200,7 @@ def run_scenario(source, obs=None) -> Dict:
                     "client.invoke_latency",
                     *(f"inv.phase.{n}" for n in PHASE_NAMES),
                     *sorted(n for n in histograms if n.startswith("shard.")),
+                    *sorted(n for n in histograms if n.startswith("gmi.")),
                 )
                 if name in histograms
             },
@@ -246,6 +252,7 @@ def _setup_request_reply(env: Environment, spec: ScenarioSpec):
     )
     clients = env.add_clients(traffic.bindings)
     retry_policy = group.build_retry_policy()
+    scheme = traffic.build_scheme_config()
     bindings = []
     for service in clients:
         bindings.append(
@@ -258,6 +265,7 @@ def _setup_request_reply(env: Environment, spec: ScenarioSpec):
                 suspicion_timeout=group.suspicion_timeout,
                 flush_timeout=group.flush_timeout,
                 retry_policy=retry_policy,
+                scheme=scheme,
             )
         )
         env.run(0.05)
@@ -266,8 +274,21 @@ def _setup_request_reply(env: Environment, spec: ScenarioSpec):
         if not binding.ready.done:
             raise ScenarioError(f"binding failed to become ready: {binding!r}")
 
+    # a scheme-bearing binding picks its own mode from the reply scheme;
+    # the personalized scheme needs a scatter plan (every member gets the
+    # same empty argument tuple here — the plan is what is under test)
+    personalized = (
+        scheme is not None
+        and scheme.invocation == InvocationScheme.PERSONALIZED
+    )
+
     def issuer_for(binding) -> Callable[[], Future]:
         def issue() -> Future:
+            if scheme is not None:
+                parts = (lambda _member: ()) if personalized else None
+                return binding.invoke(
+                    traffic.operation, (), timeout=traffic.timeout, parts=parts
+                )
             return binding.invoke(
                 traffic.operation, (), mode=traffic.mode, timeout=traffic.timeout
             )
@@ -375,6 +396,84 @@ def _setup_sharded(env: Environment, spec: ScenarioSpec):
         return name
 
     return issuers, resolve_target
+
+
+def _setup_map_reduce(env: Environment, spec: ScenarioSpec):
+    """A combined-invocation cohort over an aggregation service.
+
+    Every virtual arrival is one *logical* combined call: each cohort
+    member contributes one value through its
+    :class:`~repro.core.combined.CombinedBinding` (flat or tree fan-in per
+    ``traffic.scheme``), ``traffic.reducer`` folds the contributions
+    in-network, and the root issues the single group invocation.  The
+    arrival completes when every cohort member's future resolves.
+    """
+    sim = env.sim
+    group = spec.group
+    traffic = spec.traffic
+    env.serve_replicas(
+        SERVICE_NAME,
+        MapReduceServant,
+        group.replicas,
+        policy=group.policy,
+        config=_group_config(spec, "s0"),
+        async_forwarding=group.async_forwarding,
+    )
+    cohort_services = env.add_clients(traffic.callers)
+    cohort = [service.name for service in cohort_services]
+    scheme = traffic.build_scheme_config(cohort)
+    retry_policy = group.build_retry_policy()
+    bindings = []
+    for service in cohort_services:
+        bindings.append(
+            service.bind_combined(
+                SERVICE_NAME,
+                scheme,
+                style=group.style,
+                ordering=group.ordering,
+                liveliness=group.liveliness,
+                restricted=group.restricted,
+                suspicion_timeout=group.suspicion_timeout,
+                flush_timeout=group.flush_timeout,
+                retry_policy=retry_policy,
+            )
+        )
+        env.run(0.05)
+    env.settle(max(spec.settle, 0.5))
+    for binding in bindings:
+        if not binding.ready.done:
+            raise ScenarioError(
+                f"combined binding failed to become ready: {binding!r}"
+            )
+
+    values = itertools.count(1)
+
+    def issue() -> Future:
+        value = next(values)
+        contributions = [
+            binding.invoke(
+                traffic.operation, (value + binding.rank,),
+                timeout=traffic.timeout,
+            )
+            for binding in bindings
+        ]
+        done = Future(name="map-reduce-call")
+        all_of(contributions).add_done_callback(
+            lambda f: done.try_fail(f.exception)
+            if f.failed
+            else done.try_resolve(f.result()[0])
+        )
+        return done
+
+    root = bindings[0]
+
+    def resolve_target(name: str) -> str:
+        if name == "manager":  # the root's underlying binding's sequencer
+            manager = root._binding.manager if root._binding else None
+            return manager if manager else "s0"
+        return name
+
+    return [issue], resolve_target
 
 
 def _setup_peer(env: Environment, spec: ScenarioSpec):

@@ -15,7 +15,13 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.modes import BindingStyle, Mode, ReplicationPolicy
+from repro.core.modes import (
+    BindingStyle,
+    InvocationScheme,
+    Mode,
+    ReplicationPolicy,
+    ReplyScheme,
+)
 from repro.groupcomm.config import Liveliness, LivelinessConfig, Ordering, OrderingConfig
 from repro.obs import TraceConfig
 from repro.recovery.policy import RetryPolicy
@@ -26,7 +32,7 @@ from repro.scenario.slo import build_slos
 __all__ = ["GroupSpec", "ChurnSpec", "TrafficSpec", "ScenarioSpec", "load_spec"]
 
 TOPOLOGIES = ("lan", "mixed", "wan")
-WORKLOADS = ("request_reply", "peer", "sharded_kvstore")
+WORKLOADS = ("request_reply", "peer", "sharded_kvstore", "map_reduce")
 
 
 def _check_keys(section: str, data: Dict, allowed: Sequence[str]) -> None:
@@ -207,11 +213,21 @@ class TrafficSpec:
     #: key-popularity model for keyed workloads (KeySampler spec: space,
     #: distribution uniform|zipf, alpha, multi_fraction, multi_size)
     keys: Dict = field(default_factory=dict)
+    #: invocation-scheme × reply-scheme cell (seed default = plain binding)
+    scheme: str = InvocationScheme.SINGLE
+    reply: str = ReplyScheme.RETURN_ONE
+    #: reducer name: reply fold for ``reply: combine``, argument fold (the
+    #: in-network map/reduce) for the combined schemes
+    reducer: str = "sum"
+    #: combined-caller cohort size (map_reduce workload)
+    callers: int = 4
+    #: destination node for ``reply: forward``
+    forward_to: Optional[str] = None
 
     _FIELDS = (
         "arrivals", "churn", "duration", "drain", "workload", "operation",
         "mode", "timeout", "bindings", "max_in_flight", "payload_chars",
-        "keys",
+        "keys", "scheme", "reply", "reducer", "callers", "forward_to",
     )
 
     def __post_init__(self):
@@ -226,7 +242,45 @@ class TrafficSpec:
             raise ValueError("traffic.timeout must be > 0")
         if self.bindings < 1:
             raise ValueError("traffic.bindings must be >= 1")
+        _check_choice("traffic", "scheme", self.scheme, InvocationScheme.ALL_SCHEMES)
+        _check_choice("traffic", "reply", self.reply, ReplyScheme.ALL_SCHEMES)
+        if self.callers < 2:
+            raise ValueError("traffic.callers must be >= 2 (a cohort of one "
+                             "is a single invocation)")
         self.build_key_sampler()  # validate eagerly
+        # validate the scheme cell eagerly, with the cohort the runner will
+        # actually provision (clients are always named c0..cN-1)
+        self.build_scheme_config([f"c{i}" for i in range(self.callers)])
+
+    def build_scheme_config(self, cohort: Optional[List[str]] = None):
+        """The :class:`~repro.core.scheme.SchemeConfig` this spec selects,
+        or ``None`` for the seed-default plain binding cell
+        (``single`` × ``return_one``).  A bad cell (unknown reducer,
+        ``forward`` without ``forward_to``) fails here — at spec-load time,
+        the scenario layer's bind time."""
+        from repro.core.scheme import SchemeConfig
+
+        if (
+            self.scheme == InvocationScheme.SINGLE
+            and self.reply == ReplyScheme.RETURN_ONE
+        ):
+            return None
+        kwargs: Dict = {"invocation": self.scheme, "reply": self.reply}
+        if self.reply == ReplyScheme.COMBINE:
+            kwargs["reducer"] = self.reducer
+        if self.reply == ReplyScheme.FORWARD:
+            if not self.forward_to:
+                raise ValueError(
+                    "traffic.reply 'forward' requires traffic.forward_to"
+                )
+            kwargs["forward_to"] = self.forward_to
+        if self.scheme in InvocationScheme.COMBINED_SCHEMES:
+            kwargs["callers"] = cohort
+            kwargs["arg_reducer"] = self.reducer
+        try:
+            return SchemeConfig(**kwargs)
+        except Exception as exc:
+            raise ValueError(f"traffic scheme cell: {exc}") from exc
 
     def build_key_sampler(self, rng=None):
         """The keyed-workload sampler (None when no ``keys`` section)."""
@@ -254,6 +308,8 @@ class TrafficSpec:
         out["churn"] = self.churn.to_dict()
         if out["max_in_flight"] is None:
             del out["max_in_flight"]
+        if out["forward_to"] is None:
+            del out["forward_to"]
         return out
 
 
@@ -286,6 +342,26 @@ class ScenarioSpec:
         if self.traffic.workload == "sharded_kvstore" and self.group.shards < 1:
             raise ValueError(
                 "traffic.workload 'sharded_kvstore' requires group.shards >= 1"
+            )
+        combined = self.traffic.scheme in InvocationScheme.COMBINED_SCHEMES
+        if self.traffic.workload == "map_reduce" and not combined:
+            raise ValueError(
+                "traffic.workload 'map_reduce' requires a combined scheme "
+                f"({InvocationScheme.COMBINED_SCHEMES}), got "
+                f"{self.traffic.scheme!r}"
+            )
+        if combined and self.traffic.workload != "map_reduce":
+            raise ValueError(
+                f"combined scheme {self.traffic.scheme!r} requires "
+                "traffic.workload 'map_reduce'"
+            )
+        if (
+            self.traffic.workload in ("peer", "sharded_kvstore")
+            and self.traffic.build_scheme_config() is not None
+        ):
+            raise ValueError(
+                f"traffic.workload {self.traffic.workload!r} does not take a "
+                "scheme/reply cell"
             )
         for fault in self.faults:
             if fault.at > self.traffic.duration + self.traffic.drain:

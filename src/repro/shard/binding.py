@@ -30,6 +30,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.client import GroupBinding, InvocationResult
 from repro.core.modes import Mode
+from repro.core.scheme import scatter_parts
 from repro.errors import ApplicationError, BindingBroken
 from repro.recovery.policy import backoff_delay
 from repro.shard.layout import key_to_shard, shard_service_name
@@ -72,6 +73,7 @@ class ShardedBinding:
         self._remap_counter = obs.metrics.counter("shard.client.remaps")
         self._scatter_counter = obs.metrics.counter("shard.client.scatters")
         self._fanout_hist = obs.metrics.histogram("shard.scatter.fanout")
+        self._gmi_scatter_hist = obs.metrics.histogram("gmi.scatter.width")
         self._remap_rng = service.sim.rng(f"shard.remap.{self.client_id}")
 
         self._bindings: List[GroupBinding] = [
@@ -200,12 +202,22 @@ class ShardedBinding:
     ) -> Future:
         self._scatter_counter.inc()
         self._fanout_hist.record(len(grouped))
-        shard_nos = sorted(grouped)
-        calls = []
-        for shard_no in shard_nos:
-            shard_keys = grouped[shard_no]
-            args = args_for(shard_keys) if args_for is not None else (shard_keys,)
-            calls.append(self._invoke_on(shard_no, operation, args, mode, timeout))
+        # the per-target argument scatter is the personalized invocation
+        # scheme's plan builder, with shards as the targets
+        plan = scatter_parts(
+            grouped,
+            lambda shard_no: (
+                args_for(grouped[shard_no])
+                if args_for is not None
+                else (grouped[shard_no],)
+            ),
+        )
+        self._gmi_scatter_hist.record(len(plan))
+        shard_nos = sorted(plan)
+        calls = [
+            self._invoke_on(shard_no, operation, plan[shard_no], mode, timeout)
+            for shard_no in shard_nos
+        ]
         result = Future(name=f"scatter:{operation}@{self.client_id}")
         all_of(calls).add_done_callback(
             lambda f: result.try_fail(f.exception)

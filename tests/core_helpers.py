@@ -3,6 +3,7 @@
 from typing import Dict, List, Optional
 
 from repro.core import NewTopService
+from repro.groupcomm import Liveliness
 from repro.net import Network, Topology
 from repro.orb import NameServer, ORB
 from repro.sim import Simulator
@@ -69,6 +70,53 @@ class AppCluster:
         self.run(0.5)
         assert all(s.ready.done for s in servers), "servers failed to start"
         return servers
+
+
+def bind_scheme(
+    cluster: AppCluster,
+    service_name: str = "svc",
+    client: int = 0,
+    scheme=None,
+    fast: bool = False,
+    settle: float = 1.0,
+    **bind_kwargs,
+):
+    """One client binding, bound and ready (the setup most tests hand-roll).
+
+    ``scheme`` selects an invocation-scheme × reply-scheme cell
+    (:class:`repro.core.SchemeConfig`); ``fast=True`` applies the lively /
+    100 ms-suspicion settings the failure tests use.  Runs the sim for
+    ``settle`` and asserts readiness.
+    """
+    if fast:
+        bind_kwargs.setdefault("liveliness", Liveliness.LIVELY)
+        bind_kwargs.setdefault("suspicion_timeout", 100e-3)
+    binding = cluster.client(client).bind(service_name, scheme=scheme, **bind_kwargs)
+    cluster.run(settle)
+    assert binding.ready.done, f"binding did not become ready: {binding!r}"
+    return binding
+
+
+def bind_combined_cohort(
+    cluster: AppCluster,
+    scheme,
+    service_name: str = "svc",
+    settle: float = 1.0,
+    **bind_kwargs,
+):
+    """One :class:`~repro.core.CombinedBinding` per cohort member, all ready.
+
+    ``scheme.callers`` names the cohort (cluster node names); extra keyword
+    arguments configure the rank-0 root's underlying binding.
+    """
+    bindings = [
+        cluster.services[name].bind_combined(service_name, scheme, **bind_kwargs)
+        for name in scheme.callers
+    ]
+    cluster.run(settle)
+    for binding in bindings:
+        assert binding.ready.done, f"combined binding not ready: {binding!r}"
+    return bindings
 
 
 class Counter:

@@ -64,6 +64,10 @@ __all__ = [
     "shard_of_group",
     "check_sharded_invariants",
     "check_genuineness",
+    "record_combined",
+    "check_combined_exactly_once",
+    "record_reductions",
+    "check_reducer_determinism",
 ]
 
 # ((era, view_id), sender, gseq) — the view id is qualified by the group
@@ -228,6 +232,199 @@ def check_convergence(services, service_name: str, net) -> List[str]:
         f"convergence: {status['detail']} "
         f"(views={status['views']}, digests={status['digests']})"
     ]
+
+
+# ---------------------------------------------------------------------------
+# combined invocations (repro.core.combined) and reply combining
+# ---------------------------------------------------------------------------
+#: (combine_id, call_no, root, operation) — one per root-issued group call
+CombinedIssue = Tuple[str, int, str, str]
+
+
+@contextmanager
+def record_combined():
+    """Record every root-issued combined group call.
+
+    The combined schemes' contract is that a whole cohort's lock-step
+    invocations collapse into exactly **one** group invocation, issued by
+    the rank-0 root.  Patching
+    :meth:`~repro.core.combined.CombinedBinding._issue` captures that
+    choke point: each logical ``(combine_id, call_no)`` must appear here
+    exactly once, however the contributions were merged on the way.
+    """
+    from repro.core.combined import CombinedBinding
+
+    issues: List[CombinedIssue] = []
+    orig_issue = CombinedBinding._issue
+
+    def patched_issue(self, call_no, operation, merged_parts, count, mode, timeout):
+        issues.append((self.combine_id, call_no, self.client_id, operation))
+        orig_issue(self, call_no, operation, merged_parts, count, mode, timeout)
+
+    CombinedBinding._issue = patched_issue
+    try:
+        yield issues
+    finally:
+        CombinedBinding._issue = orig_issue
+
+
+def check_combined_exactly_once(
+    issues: List[CombinedIssue],
+    executions: List[ExecutionId],
+    members: Iterable[str],
+    exclude: Iterable[str] = (),
+) -> List[str]:
+    """Combined-invocation exactly-once (empty = pass).
+
+    Three layers, all from one recorded run:
+
+    1. every logical ``(combine_id, call_no)`` was issued by the root
+       exactly once — the cohort's N invocations never escape as N calls;
+    2. every live member executed exactly one servant call per logical
+       combined call (the root's group invocation reaches everyone, and
+       nothing else does);
+    3. no member incarnation executed any root call twice (the ordinary
+       duplicate-suppression property, scoped to the roots' traffic).
+
+    ``members`` is the server membership to hold to account; pass members
+    whose guarantees lapsed (crashed mid-run) via ``exclude``.
+    """
+    violations: List[str] = []
+    counts: Dict[Tuple[str, int], int] = {}
+    for combine_id, call_no, _root, _operation in issues:
+        key = (combine_id, call_no)
+        counts[key] = counts.get(key, 0) + 1
+    for key, count in sorted(counts.items()):
+        if count > 1:
+            violations.append(
+                f"combined exactly-once: logical call {key} issued {count} "
+                f"times by the root (want exactly 1 group invocation)"
+            )
+    roots = {root for _cid, _no, root, _op in issues}
+    logical = len(counts)
+    per_member: Dict[str, Set[Tuple[str, int]]] = {}
+    dup_counts: Dict[ExecutionId, int] = {}
+    for member, incarnation, client, call_no in executions:
+        if client not in roots:
+            continue
+        per_member.setdefault(member, set()).add((client, call_no))
+        key = (member, incarnation, client, call_no)
+        dup_counts[key] = dup_counts.get(key, 0) + 1
+    excluded = frozenset(exclude)
+    for member in sorted(members):
+        if member in excluded:
+            continue
+        executed = len(per_member.get(member, set()))
+        if executed != logical:
+            violations.append(
+                f"combined exactly-once: {member} executed {executed} distinct "
+                f"root call(s); want {logical} (one per logical combined call)"
+            )
+    for (member, incarnation, client, call_no), count in sorted(dup_counts.items()):
+        if count > 1:
+            violations.append(
+                f"combined exactly-once: {member}/incarnation {incarnation} "
+                f"executed root call ({client}, {call_no}) {count} times"
+            )
+    return violations
+
+
+@contextmanager
+def record_reductions():
+    """Record every runtime reducer fold as ``(reducer, inputs, output)``.
+
+    Patches :meth:`~repro.core.scheme.Reducer.reduce` — the single fold
+    entry point shared by reply combining, in-network argument merging,
+    and the sorted-order canonical fold — but not the bind-time law probe,
+    which calls the bare ``fn`` directly.
+    """
+    from repro.core.scheme import Reducer
+
+    folds: List[tuple] = []
+    orig_reduce = Reducer.reduce
+
+    def patched_reduce(self, values):
+        inputs = tuple(values)
+        output = orig_reduce(self, inputs)
+        folds.append((self, inputs, output))
+        return output
+
+    Reducer.reduce = patched_reduce
+    try:
+        yield folds
+    finally:
+        Reducer.reduce = orig_reduce
+
+
+def _fold_left(fn, values):
+    accumulator = values[0]
+    for value in values[1:]:
+        accumulator = fn(accumulator, value)
+    return accumulator
+
+
+def _fold_right(fn, values):
+    accumulator = values[-1]
+    for value in reversed(values[:-1]):
+        accumulator = fn(value, accumulator)
+    return accumulator
+
+
+def _fold_tree(fn, values):
+    """Balanced pairwise halving — the combining-tree shape."""
+    layer = list(values)
+    while len(layer) > 1:
+        layer = [
+            fn(layer[i], layer[i + 1]) if i + 1 < len(layer) else layer[i]
+            for i in range(0, len(layer), 2)
+        ]
+    return layer[0]
+
+
+def check_reducer_determinism(folds: List[tuple]) -> List[str]:
+    """Every recorded fold is arrival-order and tree-shape independent
+    (empty = pass).
+
+    Each recorded ``(reducer, inputs, output)`` is refolded under input
+    permutations (reversed, rotated, repr-sorted) crossed with fold shapes
+    (left, right, balanced tree); any arrangement producing a different
+    value means the combined result depended on how replies happened to
+    arrive or how the combining tree happened to slice the cohort.
+    """
+    violations: List[str] = []
+    for index, (reducer, inputs, output) in enumerate(folds):
+        if not inputs:
+            continue
+        values = list(inputs)
+        arrangements = [
+            ("as-recorded", values),
+            ("reversed", values[::-1]),
+            ("rotated", values[1:] + values[:1]),
+            ("repr-sorted", sorted(values, key=repr)),
+        ]
+        for arrangement_name, arranged in arrangements:
+            for shape_name, fold in (
+                ("left", _fold_left),
+                ("right", _fold_right),
+                ("tree", _fold_tree),
+            ):
+                try:
+                    refolded = fold(reducer.fn, arranged)
+                except Exception as exc:  # noqa: BLE001 - reducer blew up
+                    violations.append(
+                        f"reducer-determinism: {reducer.name} fold #{index}: "
+                        f"{shape_name} fold of {arrangement_name} inputs "
+                        f"raised {exc!r} (inputs {inputs!r})"
+                    )
+                    continue
+                if refolded != output:
+                    violations.append(
+                        f"reducer-determinism: {reducer.name} fold #{index}: "
+                        f"{shape_name} fold of {arrangement_name} inputs gave "
+                        f"{refolded!r}, recorded output was {output!r} "
+                        f"(inputs {inputs!r})"
+                    )
+    return violations
 
 
 # ---------------------------------------------------------------------------

@@ -6,7 +6,7 @@ from repro.core import BindingStyle, Mode, ReplicationPolicy
 from repro.errors import ApplicationError, BindingBroken
 from repro.groupcomm import GroupConfig, Liveliness, Ordering
 from repro.sim import run_process
-from tests.core_helpers import AppCluster, Counter
+from tests.core_helpers import AppCluster, Counter, bind_scheme as bound_binding
 
 
 LIVELY_FAST = GroupConfig(
@@ -15,13 +15,6 @@ LIVELY_FAST = GroupConfig(
     silence_period=20e-3,
     suspicion_timeout=100e-3,
 )
-
-
-def bound_binding(cluster, **kwargs):
-    binding = cluster.client(0).bind("svc", **kwargs)
-    cluster.run(1.0)
-    assert binding.ready.done, "binding did not become ready"
-    return binding
 
 
 # ---------------------------------------------------------------------------

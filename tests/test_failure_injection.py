@@ -6,7 +6,7 @@ from repro.apps import RandomNumberServant
 from repro.core import BindingStyle, Mode, ReplicationPolicy
 from repro.groupcomm import GroupConfig, Liveliness, Ordering
 from repro.sim import run_process, spawn
-from tests.core_helpers import AppCluster, Counter
+from tests.core_helpers import AppCluster, Counter, bind_scheme
 
 FAST = GroupConfig(
     ordering=Ordering.ASYMMETRIC,
@@ -17,12 +17,7 @@ FAST = GroupConfig(
 
 
 def fast_binding(cluster, **kwargs):
-    kwargs.setdefault("liveliness", Liveliness.LIVELY)
-    kwargs.setdefault("suspicion_timeout", 100e-3)
-    binding = cluster.client(0).bind("svc", **kwargs)
-    cluster.run(1.0)
-    assert binding.ready.done
-    return binding
+    return bind_scheme(cluster, fast=True, **kwargs)
 
 
 def test_two_crashes_leave_single_working_server():

@@ -21,11 +21,15 @@ from repro.groupcomm.ordering import AsymmetricOrder
 from repro.scenario import run_scenario
 from tests.conftest import Cluster
 from tests.invariants import (
+    check_combined_exactly_once,
     check_exactly_once,
     check_invariants,
+    check_reducer_determinism,
     check_sharded_invariants,
+    record_combined,
     record_executions,
     record_protocol,
+    record_reductions,
 )
 from tests.test_groupcomm_basic import build_group
 
@@ -328,6 +332,122 @@ def test_genuineness_check_catches_broadcast_routing(monkeypatch):
         run_process(c.sim, traffic(), until=c.sim.now + 5.0)
     violations = check_genuineness(record, "kv", addressed={0}, mark=mark)
     assert violations, "broadcast routing must violate genuineness"
+
+
+# ---------------------------------------------------------------------------
+# combined-invocation sweep: scheme shape x fault cells over map_reduce
+# ---------------------------------------------------------------------------
+GMI_SHAPES = ["combined_flat", "combined_tree"]
+GMI_FAULTS = {
+    "none": [],
+    "crash-restart": [
+        {"at": 0.8, "kind": "crash", "target": "s1"},
+        {"at": 1.6, "kind": "restart", "target": "s1"},
+    ],
+}
+
+
+def gmi_spec(seed: int, shape: str, fault: str) -> dict:
+    return {
+        "name": f"gmi-{shape}-s{seed}-{fault}",
+        "seed": seed,
+        "topology": "lan",
+        "settle": 1.0,
+        "group": {
+            "replicas": 3,
+            "style": "open",
+            "ordering": "asymmetric",
+            "liveliness": "lively",
+            "silence_period": 30e-3,
+            "suspicion_timeout": 150e-3,
+            "flush_timeout": 150e-3,
+            "retry": {"max_attempts": 4, "base_delay": 0.1, "max_delay": 1.0},
+        },
+        "traffic": {
+            "workload": "map_reduce",
+            "arrivals": {"kind": "poisson", "rate": 4.0},
+            "churn": {"initial": 2},
+            "duration": 2.0,
+            "drain": 8.0,
+            "operation": "aggregate",
+            "timeout": 3.0,
+            "scheme": shape,
+            "reply": "combine",
+            "reducer": "sum",
+            "callers": 4,
+        },
+        "faults": GMI_FAULTS[fault],
+        "slos": [],
+    }
+
+
+@pytest.mark.parametrize("fault", sorted(GMI_FAULTS))
+@pytest.mark.parametrize("shape", GMI_SHAPES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_gmi_sweep(seed, shape, fault):
+    """A 4-caller combined cohort under open-loop traffic: every logical
+    call collapses to exactly one root-issued group invocation executed
+    once per live member, every reducer fold is arrival-order and
+    tree-shape independent, the protocol invariants hold, and a crashed
+    and restarted replica rejoins converged."""
+    with record_protocol() as record, record_executions() as executions, \
+            record_combined() as issues, record_reductions() as folds:
+        report = run_scenario(gmi_spec(seed, shape, fault))
+    recovery = report["recovery"]
+    assert recovery is not None and recovery["converged"], recovery
+    assert issues, "the sweep must issue combined calls"
+    assert report["metrics"]["counters"].get("gmi.combined.calls", 0) == len(issues)
+    exclude = {"s1"} if fault == "crash-restart" else set()
+    assert check_combined_exactly_once(
+        issues, executions, ["s0", "s1", "s2"], exclude=exclude
+    ) == []
+    assert folds, "reply combining must actually fold reducer inputs"
+    assert check_reducer_determinism(folds) == []
+    violations = check_invariants(record, total_order=True, exclude=exclude)
+    assert violations == []
+
+
+def test_combined_checker_catches_double_issue(monkeypatch):
+    """Mutation smoke-check: a root that issues the merged group call twice
+    per logical combined call must trip ``check_combined_exactly_once`` —
+    the cohort's calls would escape as 2N invocations."""
+    from repro.core.combined import CombinedBinding
+    from repro.core import SchemeConfig
+    from tests.core_helpers import AppCluster, Counter, bind_combined_cohort
+
+    original = CombinedBinding._issue
+
+    def doubled(self, call_no, operation, merged_parts, count, mode, timeout):
+        original(self, call_no, operation, merged_parts, count, mode, timeout)
+        original(self, call_no, operation, merged_parts, count, mode, timeout)
+
+    monkeypatch.setattr(CombinedBinding, "_issue", doubled)
+    c = AppCluster(servers=2, clients=2, seed=3)
+    with record_combined() as issues, record_executions() as executions:
+        c.serve_all("svc", Counter)
+        scheme = SchemeConfig(
+            invocation="combined_flat", reply="combine", reducer="sum",
+            callers=list(c.client_names),
+        )
+        bindings = bind_combined_cohort(c, scheme)
+        for binding in bindings:
+            binding.invoke("incr", (1,), timeout=5.0)
+        c.run(2.0)
+    violations = check_combined_exactly_once(issues, executions, c.server_names)
+    assert violations, "a double-issued combined call must be flagged"
+
+
+def test_reducer_checker_catches_unlawful_fold():
+    """Mutation smoke-check: a non-commutative fold smuggled past bind-time
+    validation (by constructing the Reducer directly) must trip
+    ``check_reducer_determinism`` — its result depends on arrival order."""
+    from repro.core.scheme import Reducer
+
+    rogue = Reducer("sub", lambda a, b: a - b)  # bypasses validate_reducer
+    with record_reductions() as folds:
+        rogue.reduce([5, 3, 2])
+    violations = check_reducer_determinism(folds)
+    assert violations, "a subtraction fold must be flagged as order-dependent"
 
 
 # ---------------------------------------------------------------------------

@@ -23,7 +23,7 @@ import repro.core.messages  # noqa: F401
 import repro.groupcomm.messages  # noqa: F401
 import repro.orb.ior  # noqa: F401
 import repro.orb.messages  # noqa: F401
-from repro.core.messages import ReplyMsg, ReplySet
+from repro.core.messages import ReplyMsg, ReplySet, ScatterArgs
 from repro.groupcomm.config import GroupConfig, Ordering
 from repro.groupcomm.messages import DataMsg
 from repro.groupcomm.views import GroupView
@@ -63,7 +63,9 @@ FIELD_SAMPLES = {
     "attempt": 1,
     "call_no": 3,
     "client": "c1",
+    "combine_id": "cmb-1",
     "config": lambda: GroupConfig(ordering=Ordering.ASYMMETRIC),
+    "count": 3,
     "coordinator": "m1",
     "cum_seq": 9,
     "era": "era-1",
@@ -84,6 +86,9 @@ FIELD_SAMPLES = {
     "ok": True,
     "oneway": False,
     "operation": "op",
+    "origin": "c1",
+    "parts": [(0, (1,)), (1, (2, "x"))],
+    "rank": 1,
     "own_replies": lambda: [_sample_reply()],
     "payload": b"payload",
     "primary": 0,
@@ -98,6 +103,7 @@ FIELD_SAMPLES = {
     "request_id": 11,
     "sender": "m1",
     "seq": 8,
+    "service": "svc",
     "servant_state": {"k": 1},
     "skip_to": 12,
     "state": {"k": 1},
@@ -122,6 +128,8 @@ STRUCT_SAMPLES = {
     "GroupConfig": lambda: GroupConfig(ordering=Ordering.ASYMMETRIC),
     "LivelinessConfig": None,  # default-constructible
     "OrderingConfig": None,
+    # ScatterArgs.parts is a member->args dict, not Contribution's rank list
+    "ScatterArgs": lambda: ScatterArgs({"m1": (1,), "m2": (2, "x")}, (0,)),
 }
 
 

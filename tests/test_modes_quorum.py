@@ -1,0 +1,103 @@
+"""Quorum edge cases for the invocation modes (repro.core.modes).
+
+``replies_needed`` decides when a pending call is satisfied, and the
+client re-evaluates it against the *current* view on every view change
+(§2.1 failure masking).  The edges worth pinning down:
+
+- **even and two-member views**: a majority of 2 is 2 (not 1 — half is
+  not a majority), of 4 is 3;
+- **mid-call view change**: a call issued under a 3-member view with
+  ``all`` must complete with 2 replies once the third member is removed
+  from the view — the quorum shrinks with the membership, without a
+  retry or timeout;
+- **first with all-but-one crashed**: a single surviving member still
+  satisfies ``first``.
+"""
+
+import pytest
+
+from repro.core import BindingStyle, Mode
+from repro.core.modes import replies_needed
+from repro.groupcomm import GroupConfig, Liveliness, Ordering
+from tests.core_helpers import AppCluster, Counter, bind_scheme
+
+FAST = GroupConfig(
+    ordering=Ordering.ASYMMETRIC,
+    liveliness=Liveliness.LIVELY,
+    silence_period=20e-3,
+    suspicion_timeout=100e-3,
+)
+
+
+# ---------------------------------------------------------------------------
+# replies_needed arithmetic at the edges
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("size,needed", [(1, 1), (2, 2), (3, 2), (4, 3), (5, 3), (6, 4)])
+def test_majority_is_strict(size, needed):
+    """A majority is strictly more than half: size//2 + 1."""
+    assert replies_needed(Mode.MAJORITY, size) == needed
+    assert needed > size / 2
+    assert needed - 1 <= size / 2  # and it is the *smallest* such count
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 5])
+def test_first_all_one_way_counts(size):
+    assert replies_needed(Mode.FIRST, size) == 1
+    assert replies_needed(Mode.ALL, size) == size
+    assert replies_needed(Mode.ONE_WAY, size) == 0
+
+
+# ---------------------------------------------------------------------------
+# live-cluster edges
+# ---------------------------------------------------------------------------
+def test_majority_on_two_member_view_needs_both():
+    """With 2 replicas, majority degenerates to all: one reply must not
+    satisfy the call."""
+    c = AppCluster(servers=2, clients=1)
+    c.serve_all("svc", Counter, config=FAST)
+    binding = bind_scheme(c, style=BindingStyle.CLOSED, fast=True)
+    fut = binding.invoke("incr", (1,), mode=Mode.MAJORITY, timeout=5.0)
+    c.run(1.0)
+    assert fut.done
+    assert len(fut.result()) == 2
+
+
+def test_all_mode_requorums_after_mid_call_view_change():
+    """A call issued to a 3-member view with ``all`` while one member is
+    already dead (but not yet suspected) completes with 2 replies once the
+    view change removes the corpse — re-evaluation, not timeout."""
+    c = AppCluster(servers=3, clients=1)
+    c.serve_all("svc", Counter, config=FAST)
+    binding = bind_scheme(
+        c, style=BindingStyle.CLOSED, fast=True,
+        liveliness=Liveliness.LIVELY,
+    )
+    # kill s2 and invoke immediately: the client's view still has 3
+    # members, so the pending call initially wants 3 replies
+    c.net.crash("s2")
+    fut = binding.invoke("incr", (1,), mode=Mode.ALL, timeout=10.0)
+    assert not fut.done
+    c.run(3.0)  # suspicion (100ms) -> view change -> re-evaluation
+    assert fut.done, "the shrunken view must satisfy the pending call"
+    result = fut.result()
+    assert len(result) == 2
+    assert set(result.by_member()) == {"s0", "s1"}
+
+
+def test_first_with_all_but_one_crashed():
+    """first needs exactly one live member, however many have died."""
+    c = AppCluster(servers=3, clients=1)
+    c.serve_all("svc", Counter, config=FAST)
+    binding = bind_scheme(
+        c, style=BindingStyle.CLOSED, fast=True,
+        liveliness=Liveliness.LIVELY,
+    )
+    c.net.crash("s1")
+    c.net.crash("s2")
+    c.run(2.0)  # let the survivor's view settle to {s0, c0}
+    fut = binding.invoke("incr", (1,), mode=Mode.FIRST, timeout=5.0)
+    c.run(1.0)
+    assert fut.done
+    result = fut.result()
+    assert len(result) == 1
+    assert set(result.by_member()) == {"s0"}

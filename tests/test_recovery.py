@@ -21,7 +21,7 @@ from repro.recovery import (
     convergence_status,
 )
 from repro.sim import run_process
-from tests.core_helpers import AppCluster, Counter
+from tests.core_helpers import AppCluster, Counter, bind_scheme
 
 FAST = GroupConfig(
     ordering=Ordering.ASYMMETRIC,
@@ -33,12 +33,7 @@ FAST = GroupConfig(
 
 
 def fast_binding(cluster, client=0, **kwargs):
-    kwargs.setdefault("liveliness", Liveliness.LIVELY)
-    kwargs.setdefault("suspicion_timeout", 100e-3)
-    binding = cluster.client(client).bind("svc", **kwargs)
-    cluster.run(1.0)
-    assert binding.ready.done
-    return binding
+    return bind_scheme(cluster, client=client, fast=True, **kwargs)
 
 
 def warm_up(cluster, binding, amount=1):

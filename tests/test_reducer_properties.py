@@ -1,0 +1,156 @@
+"""Property-based tests (hypothesis) for reply-combining reducers.
+
+Reply combining is only sound if the fold is a commutative semigroup over
+the reply domain: the combined value must not depend on reply *arrival
+order* (commutativity) or on how a combining tree *sliced* the inputs
+(associativity).  These properties drive three families of tests:
+
+- every built-in reducer is permutation- and tree-shape-invariant over
+  randomized inputs;
+- with deterministic replicas (identical per-member values — the active
+  replication guarantee), the combined value is independent of *which*
+  members' replies made it into the fold: ``majority`` + combine equals
+  all-replica combine on any surviving quorum;
+- a law-breaking reducer is rejected with a clear
+  :class:`~repro.errors.ConfigurationError` at *bind* time (SchemeConfig
+  construction), never surfacing as a wrong answer after a fold.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import SchemeConfig
+from repro.core.scheme import REDUCERS, Reducer, reduce_sorted, resolve_reducer
+from repro.errors import ConfigurationError
+from tests.invariants import _fold_left, _fold_tree
+
+#: bounded so ``prod`` stays exact (Python ints are exact anyway; the bound
+#: just keeps example sizes readable)
+values = st.lists(st.integers(min_value=-50, max_value=50), min_size=1, max_size=8)
+reducer_names = st.sampled_from(sorted(REDUCERS))
+
+
+@given(reducer_names, values, st.randoms())
+def test_builtin_reducers_are_permutation_invariant(name, vals, rng):
+    """Arrival order never changes the combined value."""
+    reducer = REDUCERS[name]
+    shuffled = list(vals)
+    rng.shuffle(shuffled)
+    assert reducer.reduce(shuffled) == reducer.reduce(vals)
+
+
+@given(reducer_names, values)
+def test_builtin_reducers_are_tree_shape_invariant(name, vals):
+    """A balanced combining tree folds to the same value as a left fold."""
+    reducer = REDUCERS[name]
+    assert _fold_tree(reducer.fn, vals) == _fold_left(reducer.fn, vals)
+
+
+#: only *idempotent* reducers (fn(v, v) == v over their domain) are
+#: quorum-independent: min/max over numbers, any/all over booleans
+idempotent_cases = st.one_of(
+    st.tuples(st.sampled_from(["min", "max"]),
+              st.integers(min_value=-50, max_value=50)),
+    st.tuples(st.sampled_from(["any", "all"]), st.booleans()),
+)
+
+
+@given(
+    idempotent_cases,
+    st.sets(st.sampled_from(["s0", "s1", "s2", "s3", "s4"]), min_size=1),
+)
+def test_idempotent_combine_is_quorum_independent(case, survivors):
+    """Active replicas return identical values, so for an idempotent
+    reducer, folding a majority's replies equals folding all five
+    replicas' replies — the combined value cannot depend on which quorum
+    happened to answer."""
+    name, value = case
+    reducer = REDUCERS[name]
+    everyone = {f"s{i}": value for i in range(5)}
+    subset = {member: value for member in survivors}
+    assert reduce_sorted(reducer, subset) == reduce_sorted(reducer, everyone)
+
+
+@given(
+    st.integers(min_value=-50, max_value=50),
+    st.integers(min_value=1, max_value=5),
+)
+def test_sum_combine_is_membership_weighted(value, quorum):
+    """``sum`` over identical replica replies scales with the quorum size —
+    which is why reply folds over active replicas should be idempotent
+    (the conformance matrix uses ``max``) and ``sum`` belongs on the
+    *argument* side, where each cohort member contributes a distinct
+    share."""
+    by_member = {f"s{i}": value for i in range(quorum)}
+    assert reduce_sorted(REDUCERS["sum"], by_member) == quorum * value
+
+
+@given(reducer_names, st.dictionaries(
+    st.sampled_from(["s0", "s1", "s2", "s3"]),
+    st.integers(min_value=-50, max_value=50),
+    min_size=1,
+))
+def test_reduce_sorted_ignores_mapping_insertion_order(name, by_member):
+    """The canonical fold is over *sorted* member names, so a mapping built
+    in any insertion order folds identically."""
+    reducer = REDUCERS[name]
+    reversed_insertion = dict(sorted(by_member.items(), reverse=True))
+    assert reduce_sorted(reducer, reversed_insertion) == reduce_sorted(
+        reducer, by_member
+    )
+
+
+# ---------------------------------------------------------------------------
+# law-breakers are rejected at bind time
+# ---------------------------------------------------------------------------
+def test_non_commutative_reducer_rejected_at_bind_time():
+    """First-projection is associative but not commutative: the combined
+    value would be whoever's reply arrived first."""
+    with pytest.raises(ConfigurationError, match="not commutative"):
+        SchemeConfig(reply="combine", reducer=lambda a, b: a)
+
+
+def test_non_associative_reducer_rejected_at_bind_time():
+    """Averaging is commutative but not associative: a combining tree would
+    weight inputs by their position in the tree."""
+    with pytest.raises(ConfigurationError, match="not associative"):
+        SchemeConfig(reply="combine", reducer=lambda a, b: (a + b) / 2)
+
+
+def test_subtraction_rejected_at_bind_time():
+    """Subtraction breaks both laws; either message is a correct rejection,
+    and it must fire at configuration time."""
+    with pytest.raises(ConfigurationError, match="not (commutative|associative)"):
+        SchemeConfig(reply="combine", reducer=lambda a, b: a - b)
+
+
+def test_probe_domain_failure_gives_actionable_error():
+    """A reducer whose domain rejects the integer probe must be told to
+    supply its own probe samples, not fail mysteriously later."""
+    with pytest.raises(ConfigurationError, match="probe"):
+        resolve_reducer(lambda a, b: a | b if a % 2 else a / 0)
+
+
+def test_custom_probe_admits_domain_specific_reducer():
+    """Set union fails the integer probe but is a lawful fold over sets."""
+    reducer = resolve_reducer(
+        lambda a, b: a | b,
+        probe=[frozenset({1}), frozenset({2}), frozenset({1, 3})],
+    )
+    assert reducer.reduce([{1}, {2}, {3}]) == {1, 2, 3}
+
+
+def test_unknown_reducer_name_rejected():
+    with pytest.raises(ConfigurationError, match="unknown reducer"):
+        SchemeConfig(reply="combine", reducer="median-ish")
+
+
+def test_directly_constructed_rogue_reducer_still_caught_by_validation():
+    """Even a Reducer built by hand (skipping resolve_reducer) fails
+    validation when re-checked — the laws are properties of the fn, not of
+    the construction path."""
+    from repro.core.scheme import validate_reducer
+
+    rogue = Reducer("sub", lambda a, b: a - b)
+    with pytest.raises(ConfigurationError):
+        validate_reducer(rogue.name, rogue.fn)

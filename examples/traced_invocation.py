@@ -12,6 +12,8 @@ Also prints the metrics snapshot and the per-kind traffic reconciliation
 Run:  python examples/traced_invocation.py
 """
 
+import os
+
 from repro.apps import RandomNumberServant
 from repro.core import BindingStyle, Mode, NewTopService
 from repro.groupcomm import GroupConfig, Ordering
@@ -73,8 +75,13 @@ def main():
               f"{len(roots)} root ({roots[0]['name']}) ===")
         print(render_timeline(spans))
 
-    written = obs.dump_trace("traced_invocation.jsonl")
-    print(f"\nwrote {written} spans to traced_invocation.jsonl")
+    out_path = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), os.pardir, "out",
+        "traced_invocation.jsonl",
+    )
+    os.makedirs(os.path.dirname(out_path), exist_ok=True)
+    written = obs.dump_trace(out_path)
+    print(f"\nwrote {written} spans to {os.path.relpath(out_path)}")
 
     # --- metrics + traffic reconciliation ------------------------------
     snapshot = obs.metrics_snapshot()

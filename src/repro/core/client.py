@@ -19,11 +19,24 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core.messages import ForwardedReply, InvokeMsg, ReplyMsg, ReplySet, ScatterArgs
+from repro.core.messages import (
+    ForwardedReply,
+    InvokeMsg,
+    ReplyMsg,
+    ReplySet,
+    ScatterArgs,
+    ShedReply,
+)
 from repro.core.modes import BindingStyle, InvocationScheme, Mode, ReplyScheme, replies_needed
 from repro.core.registry import client_sink_id, server_servant_id
 from repro.core.scheme import SchemeConfig, reduce_sorted, scatter_parts
-from repro.errors import ApplicationError, BindingBroken, CommFailure, ConfigurationError
+from repro.errors import (
+    ApplicationError,
+    BindingBroken,
+    CommFailure,
+    ConfigurationError,
+    Overloaded,
+)
 from repro.groupcomm.config import (
     GroupConfig,
     Liveliness,
@@ -31,13 +44,19 @@ from repro.groupcomm.config import (
     Ordering,
     OrderingConfig,
 )
+from repro.groupcomm.flowcontrol import FlowQueueFull
 from repro.obs.phases import PHASE_NAMES
 from repro.orb.ior import IOR
+from repro.overload import AdmissionConfig, AdmissionController
 from repro.recovery.policy import RetryPolicy, backoff_delay
 from repro.sim.futures import Future
 from repro.sim.process import all_of
 
 __all__ = ["GroupBinding", "InvocationResult"]
+
+#: retry-after hint for sheds caused by a full flow-control send queue on a
+#: binding with no admission policy of its own
+_OVERFLOW_RETRY_AFTER = 200e-3
 
 
 class InvocationResult:
@@ -122,6 +141,7 @@ class GroupBinding:
         trace_sample: Optional[float] = None,
         metric_tag: Optional[str] = None,
         scheme: Optional[SchemeConfig] = None,
+        admission: Optional[AdmissionConfig] = None,
     ):
         if style not in BindingStyle.ALL_STYLES:
             raise ValueError(f"unknown binding style {style!r}")
@@ -159,6 +179,15 @@ class GroupBinding:
         #: invocation-scheme × reply-scheme cell this binding runs in
         #: (``None``: the plain single/return-replies behaviour)
         self.scheme = scheme
+        #: client-side admission control: bounded inflight per binding plus
+        #: the manager's piggybacked pushback (None = issue everything)
+        self.admission: Optional[AdmissionController] = (
+            AdmissionController(
+                service.sim, admission, name=f"{service_name}@{self.client_id}"
+            )
+            if admission is not None
+            else None
+        )
 
         obs = service.sim.obs
         self._tracer = obs.tracer
@@ -188,6 +217,7 @@ class GroupBinding:
         self._rebind_counter = obs.metrics.counter("client.rebinds")
         self._timeout_counter = obs.metrics.counter("client.timeouts")
         self._retry_counter = obs.metrics.counter("client.retries")
+        self._retry_after_counter = obs.metrics.counter("overload.retry_after_honored")
         self._backoff_rng = service.sim.rng(f"client.backoff.{self.client_id}")
 
         self.ready = Future(name=f"bound:{service_name}@{self.client_id}")
@@ -442,6 +472,21 @@ class GroupBinding:
             return done
         if mode not in Mode.ALL_MODES:
             raise ValueError(f"unknown invocation mode {mode!r}")
+        if self.admission is not None and mode != Mode.ONE_WAY:
+            # shed at the source: bounded inflight per binding, plus the
+            # group's piggybacked pushback (open style: the manager's
+            # advertised server-group pressure reaches us on every frame)
+            pushback = self._gc.group_pushback() if self._gc is not None else 0.0
+            hint = self.admission.try_admit(pushback)
+            if hint is not None:
+                done = Future(name=f"call:{operation}@{self.client_id}")
+                done.fail(
+                    Overloaded(
+                        f"{operation} shed at {self.client_id} (binding overloaded)",
+                        retry_after=hint,
+                    )
+                )
+                return done
         future = Future(name=f"call:{operation}@{self.client_id}")
         call_no = self.service.next_call_no()
         pending = _PendingCall(call_no, operation, tuple(args), mode, future)
@@ -531,11 +576,63 @@ class GroupBinding:
         # the send then flows under an explicitly unsampled context so no
         # downstream site allocates spans for this invocation
         with self._tracer.use_root(pending.span):
-            self._gc.send(message)
+            try:
+                self._gc.send(message)
+            except FlowQueueFull:
+                self._shed_locally(pending)
+                return
         if pending.mode == Mode.ONE_WAY:
             self._tracer.end_span(pending.span, outcome="oneway")
 
+    def _shed_locally(self, pending: _PendingCall) -> None:
+        """The session's bounded send queue overflowed: shed at the source.
+
+        Nothing reached the wire, so (like a manager-side shed) there is
+        nothing to deduplicate — a retry under the same call number runs
+        fresh and completes exactly once.
+        """
+        if self.admission is not None:
+            hint = self.admission.config.retry_after * 4.0
+            self.admission.count_shed()
+        else:
+            hint = _OVERFLOW_RETRY_AFTER
+        if pending.mode == Mode.ONE_WAY:
+            self._tracer.end_span(pending.span, outcome="shed")
+            return
+        policy = self.retry_policy
+        if (
+            policy is not None
+            and not self._closed
+            and pending.attempts < policy.max_attempts
+        ):
+            pending.attempts += 1
+            self._retry_counter.inc()
+            if pending.timer is not None:
+                pending.timer.cancel()
+            delay = policy.retry_after_delay(
+                hint, pending.attempts, self._backoff_rng
+            )
+            pending.timer = self.sim.schedule(
+                delay, self._retry_call, pending.call_no
+            )
+            return
+        self._pending.pop(pending.call_no, None)
+        if pending in self._queued:
+            self._queued.remove(pending)
+        self.service.unregister_pending(pending.call_no)
+        if pending.timer is not None:
+            pending.timer.cancel()
+        pending.future.try_fail(
+            Overloaded(
+                f"call #{pending.call_no} ({pending.operation}) shed at "
+                f"{self.client_id} (send queue full)",
+                retry_after=hint,
+            )
+        )
+
     def _finish_invoke(self, pending: _PendingCall, fut: Future) -> None:
+        if self.admission is not None:
+            self.admission.release()
         call_id = (self.client_id, pending.call_no)
         if not fut.failed:
             latency = self.sim.now - pending.sent_at
@@ -592,9 +689,13 @@ class GroupBinding:
         pending = self._pending.get(call_no)
         if pending is None or self._closed:
             return
-        pending.timer = self.sim.schedule(
-            pending.timeout, self._on_call_timeout, call_no
-        )
+        # shed-triggered retries exist for calls without a timeout too
+        if pending.timeout is not None:
+            pending.timer = self.sim.schedule(
+                pending.timeout, self._on_call_timeout, call_no
+            )
+        else:
+            pending.timer = None
         if self._bound:
             self._transmit(pending)
         elif pending not in self._queued:
@@ -605,7 +706,7 @@ class GroupBinding:
     # reply paths
     # ------------------------------------------------------------------
     def _on_gc_deliver(self, sender: str, payload: Any) -> None:
-        """Open-style replies (ReplySets) travelling back through the gc."""
+        """Open-style replies (ReplySets, sheds) coming back through the gc."""
         if isinstance(payload, ReplySet):
             pending = self._pending.pop(payload.call_no, None)
             if pending is None:
@@ -614,6 +715,45 @@ class GroupBinding:
             if pending.timer is not None:
                 pending.timer.cancel()
             pending.future.try_resolve(InvocationResult(payload.replies))
+        elif isinstance(payload, ShedReply):
+            self._on_shed(payload)
+
+    def _on_shed(self, shed: ShedReply) -> None:
+        """The manager refused the call before execution: back off and retry
+        under the same call number, or fail with :class:`Overloaded`."""
+        pending = self._pending.get(shed.call_no)
+        if pending is None:
+            return
+        policy = self.retry_policy
+        if (
+            policy is not None
+            and not self._closed
+            and pending.attempts < policy.max_attempts
+        ):
+            # nothing was executed or cached for a shed call, so the retry
+            # runs fresh under the original call number — still exactly once
+            pending.attempts += 1
+            self._retry_counter.inc()
+            self._retry_after_counter.inc()
+            if pending.timer is not None:
+                pending.timer.cancel()
+            delay = policy.retry_after_delay(
+                shed.retry_after, pending.attempts, self._backoff_rng
+            )
+            pending.timer = self.sim.schedule(delay, self._retry_call, shed.call_no)
+            return
+        del self._pending[shed.call_no]
+        if pending in self._queued:
+            self._queued.remove(pending)
+        self.service.unregister_pending(shed.call_no)
+        if pending.timer is not None:
+            pending.timer.cancel()
+        pending.future.try_fail(
+            Overloaded(
+                f"call #{shed.call_no} ({pending.operation}) shed by {shed.member}",
+                retry_after=shed.retry_after,
+            )
+        )
 
     def on_direct_reply(self, reply: ReplyMsg) -> None:
         """Closed-style replies arriving point-to-point at the client sink."""

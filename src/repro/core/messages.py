@@ -15,6 +15,7 @@ __all__ = [
     "InvokeMsg",
     "ReplyMsg",
     "ReplySet",
+    "ShedReply",
     "StateUpdate",
     "StateSnapshot",
     "ScatterArgs",
@@ -104,6 +105,38 @@ class ReplySet:
     @property
     def call_id(self) -> Tuple[str, int]:
         return (self.client, self.call_no)
+
+
+@corba_struct
+class ShedReply:
+    """Admission control refused the call before any execution.
+
+    Sent back over the same reply path a :class:`ReplySet` would use, so it
+    needs no new channels.  ``retry_after`` is the shedding member's backoff
+    hint in seconds; the client's :class:`~repro.recovery.RetryPolicy` caps
+    and jitters it.  Because the call was shed *before* the manager
+    re-multicast (or the servant executed), nothing is cached for it — a
+    later retry under the same call number runs fresh, exactly once.
+    """
+
+    __slots__ = ("client", "call_no", "member", "retry_after")
+    _fields = __slots__
+
+    def __init__(self, client: str, call_no: int, member: str, retry_after: float):
+        self.client = client
+        self.call_no = call_no
+        self.member = member
+        self.retry_after = retry_after
+
+    @property
+    def call_id(self) -> Tuple[str, int]:
+        return (self.client, self.call_no)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Shed {self.client}#{self.call_no} by {self.member} "
+            f"retry_after={self.retry_after:.3f}>"
+        )
 
 
 @corba_struct

@@ -24,6 +24,7 @@ from repro.core.messages import (
     ReplyMsg,
     ReplySet,
     ScatterArgs,
+    ShedReply,
     StateSnapshot,
     StateUpdate,
 )
@@ -31,7 +32,9 @@ from repro.core.modes import Mode, ReplicationPolicy, replies_needed
 from repro.core.registry import client_sink_id, server_servant_id
 from repro.errors import GroupError
 from repro.groupcomm.config import GroupConfig
+from repro.groupcomm.flowcontrol import FlowQueueFull
 from repro.orb.ior import IOR
+from repro.overload import AdmissionConfig, AdmissionController
 from repro.recovery.policy import backoff_delay
 from repro.sim.futures import Future
 
@@ -45,17 +48,23 @@ EXECUTION_OVERHEAD = 40e-6
 #: Retained (client, call_no) -> ReplySet entries for duplicate suppression.
 REPLY_CACHE_SIZE = 2048
 
+#: Retry-after hint when a bounded flow queue sheds without an admission
+#: controller configured (the client's RetryPolicy caps and jitters it).
+DEFAULT_OVERFLOW_RETRY_AFTER = 200e-3
+
 
 class _Collector:
     """Request-manager state for one forwarded call."""
 
-    __slots__ = ("mode", "reply_group", "replies", "done")
+    __slots__ = ("mode", "reply_group", "replies", "done", "admitted")
 
-    def __init__(self, mode: str, reply_group: str):
+    def __init__(self, mode: str, reply_group: str, admitted: bool = False):
         self.mode = mode
         self.reply_group = reply_group
         self.replies: "OrderedDict[str, ReplyMsg]" = OrderedDict()
         self.done = False
+        #: holds an admission-controller inflight slot to give back on finish
+        self.admitted = admitted
 
 
 class _InvocationServant:
@@ -88,6 +97,7 @@ class ObjectGroupServer:
         policy: str = ReplicationPolicy.ACTIVE,
         config: Optional[GroupConfig] = None,
         async_forwarding: bool = False,
+        admission: Optional[AdmissionConfig] = None,
     ):
         if policy not in ReplicationPolicy.ALL_POLICIES:
             raise ValueError(f"unknown replication policy {policy!r}")
@@ -102,6 +112,14 @@ class ObjectGroupServer:
         self.config = config or GroupConfig(ordering="asymmetric")
         #: request managers answer wait_for_first locally and forward one-way
         self.async_forwarding = async_forwarding
+        #: admission control at this request manager (None = admit all)
+        self.admission: Optional[AdmissionController] = (
+            AdmissionController(
+                service.sim, admission, name=f"{service_name}@{self.member_id}"
+            )
+            if admission is not None
+            else None
+        )
 
         self.group = None  # the server group session (set by start())
         self.ready = Future(name=f"server-ready:{service_name}@{self.member_id}")
@@ -212,6 +230,9 @@ class ObjectGroupServer:
         self._collectors.clear()
         self._g2g_seen.clear()
         self._async_handled.clear()
+        if self.admission is not None:
+            # in-flight collectors died with the process: free their slots
+            self.admission.reset()
         self._restart_epoch += 1
         self._rejoin_contact = None
         self.ready = Future(name=f"server-rejoin:{self.service_name}@{self.member_id}")
@@ -389,6 +410,10 @@ class ObjectGroupServer:
         session = self.service.gcs.join_group(group_name, contact)
         self._client_groups[group_name] = session
         self._client_group_styles[group_name] = (style, contact)
+        # relay the server group's pressure into this client/server group:
+        # every frame back to the client advertises it, so a client-side
+        # admission controller sees servant-side saturation end to end
+        session.pushback_source = self._server_group_pushback
         session.on_deliver = (
             lambda sender, payload, g=group_name: self._on_client_group_deliver(
                 g, sender, payload
@@ -404,6 +429,11 @@ class ObjectGroupServer:
             lambda f: done.try_fail(f.exception) if f.failed else done.try_resolve(True)
         )
         return done
+
+    def _server_group_pushback(self) -> float:
+        if self.group is not None and self.group.state != "closed":
+            return self.group.group_pushback()
+        return 0.0
 
     def _on_client_group_view(self, group_name: str, view, joined, left) -> None:
         style, client = self._client_group_styles.get(group_name, ("", ""))
@@ -476,21 +506,41 @@ class ObjectGroupServer:
         if invoke.mode == Mode.ONE_WAY:
             self._forward(invoke, Mode.ONE_WAY)
             return
+        # admission control: decide *before* the re-multicast and before
+        # anything is cached, so a shed call is never partially executed and
+        # a later retry under the same call number runs fresh, exactly once
+        admitted = False
+        if self.admission is not None:
+            pushback = self.group.group_pushback() if self.group is not None else 0.0
+            hint = self.admission.try_admit(pushback)
+            if hint is not None:
+                self._send_shed(group_name, invoke, hint)
+                return
+            admitted = True
         if self.async_forwarding and invoke.mode == Mode.FIRST:
             # §4.2: answer locally, forward one-way — no reply gathering.
             # Mark the call so our own loopback of the forward is skipped.
             self._async_handled[call_id] = True
             while len(self._async_handled) > REPLY_CACHE_SIZE:
                 self._async_handled.pop(next(iter(self._async_handled)))
-            self._forward(invoke, Mode.ONE_WAY)
+            try:
+                self._forward(invoke, Mode.ONE_WAY)
+            except FlowQueueFull:
+                del self._async_handled[call_id]
+                self._shed_on_overflow(group_name, invoke, admitted)
+                return
             self._execute(
                 invoke,
                 lambda reply: self._finish_async_forwarded(group_name, invoke, reply),
             )
             return
-        collector = _Collector(invoke.mode, group_name)
+        collector = _Collector(invoke.mode, group_name, admitted=admitted)
         self._collectors[call_id] = collector
-        self._forward(invoke, invoke.mode)
+        try:
+            self._forward(invoke, invoke.mode)
+        except FlowQueueFull:
+            del self._collectors[call_id]
+            self._shed_on_overflow(group_name, invoke, admitted)
 
     def _forward(self, invoke: InvokeMsg, mode: str) -> None:
         """Re-issue the client's request inside the server group (§4.1 ii)."""
@@ -513,11 +563,49 @@ class ObjectGroupServer:
     def _finish_async_forwarded(
         self, group_name: str, invoke: InvokeMsg, reply: ReplyMsg
     ) -> None:
+        if self.admission is not None:
+            self.admission.release()
         if self.policy == ReplicationPolicy.PASSIVE and self._group_open():
             self._broadcast_state_update(invoke, reply)
         reply_set = ReplySet(invoke.client, invoke.call_no, [reply])
         self._cache_reply(reply_set)
         self._send_reply_set(group_name, reply_set)
+
+    # -- shedding: refuse before execution, hint the client when to retry --
+    def _send_shed(self, group_name: str, invoke: InvokeMsg, hint: float) -> None:
+        session = self._client_groups.get(group_name)
+        if session is not None and session.state != "closed":
+            self._tracer.event(
+                "manager.shed",
+                client=invoke.client,
+                call_no=invoke.call_no,
+                retry_after=hint,
+            )
+            self._flight.record(
+                self.member_id, "shed", group_name,
+                f"{invoke.client}#{invoke.call_no}",
+            )
+            session.send(
+                ShedReply(invoke.client, invoke.call_no, self.member_id, hint)
+            )
+
+    def _shed_on_overflow(
+        self, group_name: str, invoke: InvokeMsg, admitted: bool
+    ) -> None:
+        """The server-group flow queue refused the re-multicast: shed.
+
+        Reached only with a bounded flow queue (``flow_max_queue``); the
+        call was never forwarded, so nothing executed anywhere.
+        """
+        if self.admission is not None:
+            if admitted:
+                self.admission.release()
+            hint = self.admission.config.retry_after * 4.0
+            self.admission.count_shed()
+        else:
+            hint = DEFAULT_OVERFLOW_RETRY_AFTER
+            self.sim.obs.metrics.counter("overload.shed").inc()
+        self._send_shed(group_name, invoke, hint)
 
     def _send_reply_set(self, group_name: str, reply_set: ReplySet) -> None:
         session = self._client_groups.get(group_name)
@@ -613,6 +701,8 @@ class ObjectGroupServer:
             return
         collector.done = True
         del self._collectors[call_id]
+        if collector.admitted and self.admission is not None:
+            self.admission.release()
         reply_set = ReplySet(call_id[0], call_id[1], list(collector.replies.values()))
         self._cache_reply(reply_set)
         self._send_reply_set(collector.reply_group, reply_set)

@@ -34,6 +34,7 @@ from repro.groupcomm.config import (
 )
 from repro.groupcomm.service import GroupCommService
 from repro.groupcomm.session import GroupSession
+from repro.overload import AdmissionConfig
 from repro.recovery.policy import RetryPolicy
 from repro.orb.ior import IOR
 from repro.orb.orb import ORB
@@ -91,6 +92,7 @@ class NewTopService:
         policy: str = ReplicationPolicy.ACTIVE,
         config: Optional[GroupConfig] = None,
         async_forwarding: bool = False,
+        admission: Optional[AdmissionConfig] = None,
         create: Optional[bool] = None,
         contact: Optional[str] = None,
     ) -> ObjectGroupServer:
@@ -110,6 +112,7 @@ class NewTopService:
             policy=policy,
             config=config,
             async_forwarding=async_forwarding,
+            admission=admission,
         )
         self.servers[service_name] = server
         if create is True or (create is None and self.registry is None):
@@ -140,6 +143,7 @@ class NewTopService:
         policy: str = ReplicationPolicy.ACTIVE,
         config: Optional[GroupConfig] = None,
         async_forwarding: bool = False,
+        admission: Optional[AdmissionConfig] = None,
         create: Optional[bool] = None,
         contact: Optional[str] = None,
     ):
@@ -166,6 +170,7 @@ class NewTopService:
             policy=policy,
             config=config,
             async_forwarding=async_forwarding,
+            admission=admission,
         )
         self.servers[service_name] = server
         if create is True or (create is None and self.registry is None):
@@ -206,6 +211,7 @@ class NewTopService:
         retry_policy: Optional[RetryPolicy] = None,
         trace_sample: Optional[float] = None,
         scheme: Optional[SchemeConfig] = None,
+        admission: Optional[AdmissionConfig] = None,
     ) -> GroupBinding:
         """Bind to a replicated service.  Await ``binding.ready``.
 
@@ -230,6 +236,7 @@ class NewTopService:
             retry_policy=retry_policy,
             trace_sample=trace_sample,
             scheme=scheme,
+            admission=admission,
         )
 
     def bind_combined(

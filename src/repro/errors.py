@@ -15,6 +15,7 @@ __all__ = [
     "NoQuorum",
     "InvocationAborted",
     "ProvisioningError",
+    "Overloaded",
 ]
 
 
@@ -75,3 +76,17 @@ class InvocationAborted(GroupError):
 class ProvisioningError(GroupError):
     """A shard layout cannot be satisfied by the current parent membership
     (e.g. fewer members than ``min_members_per_shard`` requires)."""
+
+
+class Overloaded(GroupError):
+    """The call was shed by admission control before execution.
+
+    ``retry_after`` carries the server's advertised backoff hint in seconds
+    (0.0 when the shed was purely client-side).  A shed call was *never*
+    executed anywhere — retrying it under a fresh call number is safe, and
+    retrying under the same call number is collapsed by the reply caches.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = retry_after

@@ -169,6 +169,7 @@ class GroupConfig:
         "flush_timeout",
         "sequencer_hint",
         "send_window",
+        "flow_max_queue",
         "liveliness_config",
         "ordering_config",
     )
@@ -185,6 +186,7 @@ class GroupConfig:
         flush_timeout: float = 150e-3,
         sequencer_hint: str = "",
         send_window: int = 64,
+        flow_max_queue: int = 0,
         liveliness_config: "LivelinessConfig | None" = None,
         ordering_config: "OrderingConfig | None" = None,
     ):
@@ -208,6 +210,11 @@ class GroupConfig:
             raise ValueError("send_window must be at least 1")
         #: flow control: max own unstable data messages before sends queue
         self.send_window = send_window
+        if flow_max_queue < 0:
+            raise ValueError("flow_max_queue must be >= 0")
+        #: flow control: bound on the local pending-send queue
+        #: (0 = unbounded, the historical behaviour)
+        self.flow_max_queue = int(flow_max_queue)
         self.liveliness_config = liveliness_config or LivelinessConfig()
         self.ordering_config = ordering_config or OrderingConfig()
 

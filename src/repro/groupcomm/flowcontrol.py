@@ -7,6 +7,13 @@ a session may have at most ``window`` of its own data messages unstable
 (sent but not yet known received by every member).  Further sends queue
 locally and drain as stability acknowledgements arrive.
 
+The local pending queue itself is bounded too (``max_queue``): a saturated
+group otherwise just moves the unbounded buffer from the wire to the
+sender.  Overflowing sends are refused at ``try_acquire`` time — the
+caller decides whether that means dropping the payload or shedding the
+request that produced it (the overload layer turns it into a
+``RetryAfter``).
+
 The window also gives benchmarks their pipelining semantics: peer members
 "multicasting as frequently as possible" are in fact window-limited, which
 is what keeps the LAN flood experiments (§5.2) stable.
@@ -15,24 +22,36 @@ is what keeps the LAN flood experiments (§5.2) stable.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Optional
+from typing import Any, Deque, Optional
 
-__all__ = ["FlowController", "DEFAULT_WINDOW"]
+__all__ = ["FlowController", "FlowQueueFull", "DEFAULT_WINDOW"]
 
 #: Default maximum number of own unstable data messages per group.
 DEFAULT_WINDOW = 64
 
 
-class FlowController:
-    """Bounds a session's own outstanding (unstable) data messages."""
+class FlowQueueFull(Exception):
+    """``try_acquire`` refused a payload: the pending queue is at max_queue."""
 
-    def __init__(self, window: int = DEFAULT_WINDOW):
+
+class FlowController:
+    """Bounds a session's own outstanding (unstable) data messages.
+
+    ``max_queue`` additionally bounds the local pending queue; ``None``
+    (the default) keeps the historical unbounded behaviour.
+    """
+
+    def __init__(self, window: int = DEFAULT_WINDOW, max_queue: Optional[int] = None):
         if window < 1:
             raise ValueError("flow-control window must be at least 1")
+        if max_queue is not None and max_queue < 0:
+            raise ValueError("flow-control max_queue must be >= 0")
         self.window = window
+        self.max_queue = max_queue
         self._in_flight = 0
         self._queue: Deque[Any] = deque()
         self.sends_delayed = 0
+        self.sends_refused = 0
 
     # ------------------------------------------------------------------
     # send path
@@ -41,7 +60,28 @@ class FlowController:
         """Claim a window slot for ``payload``.
 
         Returns True if the send may proceed now; otherwise the payload is
-        queued and will be released to ``drain`` later.
+        queued and will be released to ``drain`` later.  Raises
+        :class:`FlowQueueFull` (without queueing) when the pending queue is
+        already at ``max_queue``.
+        """
+        if self._in_flight < self.window:
+            self._in_flight += 1
+            return True
+        if self.max_queue is not None and len(self._queue) >= self.max_queue:
+            self.sends_refused += 1
+            raise FlowQueueFull(
+                f"flow-control queue full ({len(self._queue)}/{self.max_queue})"
+            )
+        self._queue.append(payload)
+        self.sends_delayed += 1
+        return False
+
+    def requeue(self, payload: Any) -> bool:
+        """Re-admit an already-accepted payload (view-change replay).
+
+        Like :meth:`try_acquire` but never raises: work that was admitted
+        before a view change must survive the replay even if the bounded
+        queue is momentarily past ``max_queue``.
         """
         if self._in_flight < self.window:
             self._in_flight += 1
@@ -71,6 +111,19 @@ class FlowController:
     @property
     def queued(self) -> int:
         return len(self._queue)
+
+    def occupancy(self) -> float:
+        """Send-path pressure in [0, 1]: how full window + queue are.
+
+        With an unbounded queue only the window counts (a queue with no
+        limit has no meaningful fullness); with ``max_queue`` set the
+        fuller of the two dominates, so either a saturated window or a
+        saturated queue reads as pressure 1.0.
+        """
+        pressure = self._in_flight / self.window
+        if self.max_queue:
+            pressure = max(pressure, len(self._queue) / self.max_queue)
+        return min(1.0, pressure)
 
     def reset(self) -> None:
         """View change: outstanding accounting restarts with the new view."""

@@ -66,12 +66,18 @@ class DataMsg:
       incarnation can surface in a re-created group whose view numbering
       restarted — the era lets receivers drop it instead of aliasing it
       into the identically-numbered new view.
+    - ``pushback``: the sender's advertised send-path pressure in [0, 1]
+      (ordering backlog, unstable window, flow queue — whichever is
+      fullest).  Piggybacked on existing reverse traffic exactly like
+      ``acks``, so overload propagates upstream with zero extra messages;
+      admission control reads the group-wide max (0.0 = no pressure, also
+      the value old senders implicitly advertise).
     """
 
     __slots__ = (
         "group", "sender", "view_id", "gseq", "ts",
         "kind", "payload", "ticket", "vector", "acks",
-        "hb_period", "frontier", "era", "_mid",
+        "hb_period", "frontier", "era", "pushback", "_mid",
     )
     #: wire fields only — ``_mid`` is a lazily built identity cache,
     #: never marshalled (identity fields are immutable after construction)
@@ -92,6 +98,7 @@ class DataMsg:
         hb_period: float = 0.0,
         frontier: Any = None,
         era: str = "",
+        pushback: float = 0.0,
     ):
         self.group = group
         self.sender = sender
@@ -106,6 +113,7 @@ class DataMsg:
         self.hb_period = hb_period
         self.frontier = frontier
         self.era = era
+        self.pushback = pushback
         self._mid: Optional[Tuple[int, str, int]] = None
 
     @property

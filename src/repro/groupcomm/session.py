@@ -96,6 +96,12 @@ class GroupSession:
         self._leaving = False
         #: delivery frontiers peers piggybacked on their latest message
         self._peer_frontiers: Dict[str, Any] = {}
+        #: send-path pressure peers piggybacked on their latest message
+        self._peer_pushback: Dict[str, float] = {}
+        #: optional extra pressure folded into our advertised pushback —
+        #: lets a request manager relay its *server group's* pressure into
+        #: the client/server group so it reaches the client end to end
+        self.pushback_source: Optional[Callable[[], float]] = None
 
         self.stats = SessionStats()
         obs = self.sim.obs
@@ -105,7 +111,15 @@ class GroupSession:
         self._delivered_counter = obs.metrics.counter("gc.delivered")
         self._views_counter = obs.metrics.counter("gc.views_installed")
         self._unstable_hist = obs.metrics.histogram("gc.unstable_depth")
-        self.flow = FlowController(config.send_window)
+        self._flow_inflight_g = obs.metrics.gauge("gc.flow.in_flight")
+        self._flow_queued_g = obs.metrics.gauge("gc.flow.queued")
+        #: last (in_flight, queued) reported to the aggregate flow gauges
+        self._flow_reported = (0, 0)
+        self.flow = FlowController(
+            config.send_window, config.flow_max_queue or None
+        )
+        #: ordering backlog that reads as pushback 1.0 (a few windows' worth)
+        self._pushback_pending_bound = 4.0 * config.send_window
         self.ordering = make_ordering(config.ordering, self)
         self.detector = FailureDetector(self)
         self.membership = MembershipEngine(self)
@@ -148,7 +162,11 @@ class GroupSession:
             self._queued_sends.append(payload)
             return
         if not self.flow.try_acquire(payload):
-            return  # window full: queued inside the flow controller
+            # window full: queued inside the flow controller (raises
+            # FlowQueueFull past max_queue — the caller sheds)
+            self._update_flow_gauges()
+            return
+        self._update_flow_gauges()
         self._do_send(payload, KIND_DATA)
 
     def leave(self) -> Future:
@@ -204,6 +222,42 @@ class GroupSession:
         here and every peer's piggybacked delivery frontier has reached ours.
         Gate for the optional quiescence -> event-driven fallback."""
         return self.is_quiescent() and not self.unstable and self._frontier_caught_up()
+
+    def local_pushback(self) -> float:
+        """This member's own send-path pressure in [0, 1].
+
+        The max of flow-control fullness (window + bounded queue) and the
+        ordering backlog (messages received but not yet deliverable),
+        normalised against a few windows' worth of pending work.  Advertised
+        on every outgoing frame; admission control reads the group max.
+        """
+        pressure = self.flow.occupancy()
+        pending = self.ordering.pending_count()
+        if pending:
+            pressure = max(pressure, pending / self._pushback_pending_bound)
+        if self.pushback_source is not None:
+            relayed = self.pushback_source()
+            if relayed > pressure:
+                pressure = relayed
+        return pressure if pressure < 1.0 else 1.0
+
+    def group_pushback(self) -> float:
+        """The worst advertised pressure across the group (incl. our own)."""
+        peak = self.local_pushback()
+        peers = self._peer_pushback
+        if peers:
+            worst = max(peers.values())
+            if worst > peak:
+                peak = worst
+        return peak
+
+    def _update_flow_gauges(self) -> None:
+        now = (self.flow.in_flight, self.flow.queued)
+        last = self._flow_reported
+        if now != last:
+            self._flow_inflight_g.add(now[0] - last[0])
+            self._flow_queued_g.add(now[1] - last[1])
+            self._flow_reported = now
 
     def _frontier_caught_up(self) -> bool:
         if self.view is None:
@@ -278,6 +332,7 @@ class GroupSession:
             self.detector.advertise_period(),
             self.ordering.frontier(),
             era=self.view.era,
+            pushback=self.local_pushback(),
         )
         if kind == KIND_DATA:
             self.unstable[msg.msg_id] = msg
@@ -363,6 +418,7 @@ class GroupSession:
         self.detector.observe_period(msg.sender, msg.hb_period)
         if msg.frontier is not None:
             self._peer_frontiers[msg.sender] = msg.frontier
+        self._peer_pushback[msg.sender] = msg.pushback
         if not msg.is_null:
             self.detector.note_activity()
             self._recv_gseq[msg.sender] = msg.gseq
@@ -464,6 +520,7 @@ class GroupSession:
                 if payload is None:
                     break
                 self._do_send(payload, KIND_DATA)
+            self._update_flow_gauges()
 
     # ------------------------------------------------------------------
     # reactive NULL scheduling
@@ -698,7 +755,10 @@ class GroupSession:
             self.config = install.config
             self.ordering = make_ordering(install.config.ordering, self)
             self.detector = FailureDetector(self)
-            self.flow = FlowController(install.config.send_window)
+            self.flow = FlowController(
+                install.config.send_window, install.config.flow_max_queue or None
+            )
+            self._pushback_pending_bound = 4.0 * install.config.send_window
             if not install.config.ordering_config.ack_piggyback:
                 self.service.channels.ack_piggyback = False
         else:
@@ -723,6 +783,7 @@ class GroupSession:
         self._acks_owed = False
         self._self_ack_owed = False
         self._peer_frontiers = {}
+        self._peer_pushback = {}
         if self._null_timer is not None:
             self._null_timer.cancel()
             self._null_timer = None
@@ -767,8 +828,11 @@ class GroupSession:
         self.flow.reset()
         queued, self._queued_sends = self._queued_sends, []
         for payload in queued + held:
-            if self.flow.try_acquire(payload):
+            # replay bypasses max_queue: this work was admitted before the
+            # view change, so re-queueing it must not raise
+            if self.flow.requeue(payload):
                 self._do_send(payload, KIND_DATA)
+        self._update_flow_gauges()
 
         # a departure intention outlives coordinator changes
         if self._leaving and self.state == "active":
@@ -798,6 +862,13 @@ class GroupSession:
         self._self_ack_owed = False
         self._max_seen_ts = 0
         self._peer_frontiers = {}
+        self._peer_pushback = {}
+        # retire this session's contribution to the aggregate flow gauges
+        last = self._flow_reported
+        if last != (0, 0):
+            self._flow_inflight_g.add(-last[0])
+            self._flow_queued_g.add(-last[1])
+            self._flow_reported = (0, 0)
         if self._null_timer is not None:
             self._null_timer.cancel()
             self._null_timer = None

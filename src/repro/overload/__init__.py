@@ -1,0 +1,24 @@
+"""End-to-end overload control: admission, shedding, and pushback.
+
+The open-loop scenario engine can offer 5-10x what a group can serve;
+without admission control that means unbounded queues and timeout storms.
+This package bounds the damage at the earliest possible point:
+
+- :class:`AdmissionConfig` — declarative policy (inflight bound,
+  queue-delay watermarks from the ``repro.obs`` phase histograms,
+  pushback threshold, retry-after hint);
+- :class:`AdmissionController` — the enforcement point request managers
+  and client bindings share.  A refused call is shed with a ``RetryAfter``
+  hint *before* any execution, so exactly-once semantics are never at
+  risk: there is nothing to deduplicate for a call that never ran.
+
+Servant-side pressure reaches the admission points through the group
+sessions themselves: every data/NULL frame piggybacks the sender's
+send-path occupancy (``DataMsg.pushback``), and
+:meth:`~repro.groupcomm.session.GroupSession.group_pushback` exposes the
+group-wide max.
+"""
+
+from repro.overload.admission import AdmissionConfig, AdmissionController
+
+__all__ = ["AdmissionConfig", "AdmissionController"]

@@ -77,6 +77,23 @@ class RetryPolicy:
             attempt, self.base_delay, self.factor, self.max_delay, self.jitter, rng
         )
 
+    def retry_after_delay(self, hint: float, attempt: int, rng) -> float:
+        """Backoff honoring a server-supplied retry-after ``hint``.
+
+        An overloaded server knows its own queue better than the client's
+        exponential guesswork does, so a positive hint replaces the
+        exponential envelope — still capped at ``max_delay`` and never below
+        ``base_delay``, and still jittered so a whole flash crowd shed in
+        the same instant does not retry in the same instant.  A hint of 0
+        (or less) falls back to :meth:`delay`.
+        """
+        if hint <= 0:
+            return self.delay(attempt, rng)
+        envelope = min(self.max_delay, max(self.base_delay, hint))
+        if self.jitter > 0:
+            envelope *= 1.0 - self.jitter / 2.0 + self.jitter * rng.random()
+        return envelope
+
     @classmethod
     def from_dict(cls, data: Dict) -> "RetryPolicy":
         allowed = {"max_attempts", "base_delay", "factor", "max_delay", "jitter"}

@@ -12,6 +12,7 @@ two runs of the same spec are byte-identical — except for the single
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import time
 from typing import Callable, Dict, List, Optional
@@ -51,6 +52,22 @@ CONVERGENCE_GRACE = 2.0
 
 class ScenarioError(RuntimeError):
     """Raised when a scenario cannot be set up (not an SLO failure)."""
+
+
+def _manager_admission(admission):
+    """The request managers' share of the admission policy.
+
+    ``max_inflight`` is a *per-binding* bound, enforced at every client
+    binding where a shed costs no wire traffic at all; a manager serves
+    every binding at once, so applying the same bound there would both
+    throttle the group below capacity and pay a ShedReply multicast per
+    refusal.  Managers keep the group-knowledge signals — queue-delay
+    watermark and advertised pushback — as the backstop behind the
+    bindings.
+    """
+    if admission is None:
+        return None
+    return dataclasses.replace(admission, max_inflight=0)
 
 
 def run_scenario(source, obs=None) -> Dict:
@@ -129,7 +146,10 @@ def run_scenario(source, obs=None) -> Dict:
             sim.obs.metrics.counter("scenario.convergence.failures").inc()
 
     snapshot = sim.obs.metrics_snapshot()
-    ctx = SloContext(sim.obs.metrics, generator.stats, snapshot)
+    ctx = SloContext(
+        sim.obs.metrics, generator.stats, snapshot,
+        duration=spec.traffic.duration,
+    )
     verdicts = evaluate_slos(build_slos(spec.slos), ctx)
     passed = all(verdict["ok"] for verdict in verdicts)
 
@@ -188,7 +208,7 @@ def run_scenario(source, obs=None) -> Dict:
                 if name.split(".", 1)[0]
                 in (
                     "gc", "net", "client", "server", "scenario", "recovery",
-                    "obs", "shard", "gmi",
+                    "obs", "shard", "gmi", "overload",
                 )
             },
             "histograms": {
@@ -232,6 +252,7 @@ def _group_config(spec: ScenarioSpec, sequencer_hint: str) -> GroupConfig:
         suspicion_timeout=group.suspicion_timeout,
         flush_timeout=group.flush_timeout,
         sequencer_hint=sequencer_hint,
+        flow_max_queue=group.flow_max_queue,
         liveliness_config=group.build_liveliness_config(),
         ordering_config=group.build_ordering_config(),
     )
@@ -242,6 +263,8 @@ def _setup_request_reply(env: Environment, spec: ScenarioSpec):
     sim = env.sim
     group = spec.group
     traffic = spec.traffic
+    admission = group.build_admission_config()
+    open_style = group.style == BindingStyle.OPEN
     env.serve_replicas(
         SERVICE_NAME,
         RandomNumberServant,
@@ -249,6 +272,9 @@ def _setup_request_reply(env: Environment, spec: ScenarioSpec):
         policy=group.policy,
         config=_group_config(spec, "s0"),
         async_forwarding=group.async_forwarding,
+        # open bindings route through a request manager: it backstops the
+        # bindings with the group-knowledge signals (watermark, pushback)
+        admission=_manager_admission(admission) if open_style else None,
     )
     clients = env.add_clients(traffic.bindings)
     retry_policy = group.build_retry_policy()
@@ -266,6 +292,11 @@ def _setup_request_reply(env: Environment, spec: ScenarioSpec):
                 flush_timeout=group.flush_timeout,
                 retry_policy=retry_policy,
                 scheme=scheme,
+                # the binding is the true ingress: shedding here keeps
+                # refused work out of the send queues entirely (for open
+                # bindings the manager's admission is the group-knowledge
+                # backstop behind it)
+                admission=admission,
             )
         )
         env.run(0.05)
@@ -317,6 +348,8 @@ def _setup_sharded(env: Environment, spec: ScenarioSpec):
     sim = env.sim
     group = spec.group
     traffic = spec.traffic
+    admission = group.build_admission_config()
+    open_style = group.style == BindingStyle.OPEN
     services = env.add_servers(group.replicas)
     servers = []
     for service in services:
@@ -330,6 +363,7 @@ def _setup_sharded(env: Environment, spec: ScenarioSpec):
                 policy=group.policy,
                 config=_group_config(spec, "s0"),
                 async_forwarding=group.async_forwarding,
+                admission=_manager_admission(admission) if open_style else None,
             )
         )
         env.run(0.25)
@@ -357,6 +391,7 @@ def _setup_sharded(env: Environment, spec: ScenarioSpec):
             suspicion_timeout=group.suspicion_timeout,
             flush_timeout=group.flush_timeout,
             retry_policy=retry_policy,
+            admission=admission,
         )
         kv_clients.append(
             ShardedKVClient(binding, mode=traffic.mode, timeout=traffic.timeout)

@@ -24,6 +24,13 @@ Kinds:
 - ``message_budget`` — a maximum ratio between two obs counters, e.g.
   ``gc.sent.null / gc.delivered <= 1.5``: the protocol-overhead budget
   that keeps liveliness traffic proportional to useful work.
+- ``degradation`` — graceful-degradation under overload: goodput
+  (completed requests per second of traffic window) must stay at or above
+  ``min_goodput_fraction`` of the declared ``capacity`` even when the
+  offered load is a multiple of it, the latency percentile of *admitted*
+  (completed) calls stays bounded, and the shed ratio stays under
+  ``max_shed_ratio``.  This is the SLO an admission-controlled group
+  passes and an uncontrolled one fails when driven past saturation.
 """
 
 from __future__ import annotations
@@ -35,7 +42,10 @@ from repro.obs import reconcile_traffic
 
 __all__ = ["SLO_KINDS", "build_slos", "evaluate_slos", "SloContext"]
 
-SLO_KINDS = ("latency", "counter", "accounting", "reconciliation", "message_budget")
+SLO_KINDS = (
+    "latency", "counter", "accounting", "reconciliation", "message_budget",
+    "degradation",
+)
 
 _LATENCY_STATS = ("mean", "p50", "p95", "p99", "max")
 
@@ -43,10 +53,17 @@ _LATENCY_STATS = ("mean", "p50", "p95", "p99", "max")
 class SloContext:
     """Everything an SLO may inspect after a run."""
 
-    def __init__(self, metrics, stats, snapshot: Dict[str, Dict]):
+    def __init__(
+        self,
+        metrics,
+        stats,
+        snapshot: Dict[str, Dict],
+        duration: Optional[float] = None,
+    ):
         self.metrics = metrics  # the MetricsRegistry
         self.stats = stats  # TrafficStats
         self.snapshot = snapshot  # metrics snapshot dict
+        self.duration = duration  # traffic window in seconds (for goodput)
 
 
 def _percentile(sorted_values: List[float], p: float) -> float:
@@ -261,12 +278,119 @@ class MessageBudgetSlo(_Slo):
         )
 
 
+class DegradationSlo(_Slo):
+    """Graceful degradation under overload (the flash-crowd verdict).
+
+    ``capacity`` declares the group's measured sustainable throughput in
+    requests/second (establish it with a separate capacity run, e.g.
+    ``benchmarks/bench_overload.py``).  When offered load exceeds it, a
+    well-behaved deployment keeps *goodput* — completed requests per second
+    of the traffic window — at or above ``min_goodput_fraction * capacity``
+    by shedding the excess early, keeps the ``stat`` latency of the calls
+    it *did* admit under ``max_ms``, and sheds no more than
+    ``max_shed_ratio`` of what was offered.
+    """
+
+    kind = "degradation"
+
+    def __init__(
+        self,
+        name: str,
+        capacity: float,
+        min_goodput_fraction: float = 0.8,
+        stat: str = "p99",
+        max_ms: Optional[float] = None,
+        max_shed_ratio: Optional[float] = None,
+        min_count: int = 1,
+    ):
+        super().__init__(name)
+        if capacity <= 0:
+            raise ValueError(f"degradation SLO {name!r} needs capacity > 0")
+        if not 0.0 < min_goodput_fraction <= 1.0:
+            raise ValueError(
+                f"degradation SLO {name!r} needs min_goodput_fraction in (0, 1]"
+            )
+        if stat not in _LATENCY_STATS:
+            raise ValueError(f"latency stat must be one of {_LATENCY_STATS}, got {stat!r}")
+        if max_shed_ratio is not None and not 0.0 <= max_shed_ratio <= 1.0:
+            raise ValueError(
+                f"degradation SLO {name!r} needs max_shed_ratio in [0, 1]"
+            )
+        self.capacity = float(capacity)
+        self.min_goodput_fraction = float(min_goodput_fraction)
+        self.stat = stat
+        self.max_ms = None if max_ms is None else float(max_ms)
+        self.max_shed_ratio = max_shed_ratio
+        self.min_count = int(min_count)
+
+    def evaluate(self, ctx: SloContext) -> Dict:
+        if ctx.duration is None:
+            return self._verdict(
+                False, None, "goodput floor",
+                "no traffic duration in context: cannot compute goodput",
+            )
+        stats = ctx.stats.snapshot()
+        goodput = stats["completed"] / ctx.duration
+        floor = self.min_goodput_fraction * self.capacity
+        checks = []
+        ok = goodput >= floor
+        checks.append(f"goodput={goodput:.1f}/s (floor {floor:.1f}/s)")
+        values = sorted(latency for _at, latency in ctx.stats.samples)
+        count = len(values)
+        observed_ms = None
+        if self.max_ms is not None:
+            if count == 0:
+                ok = False
+                checks.append("no admitted completions for the latency bound")
+            else:
+                if self.stat == "mean":
+                    observed_s = sum(values) / count
+                elif self.stat == "max":
+                    observed_s = values[-1]
+                else:
+                    observed_s = _percentile(values, float(self.stat[1:]) / 100.0)
+                observed_ms = observed_s * 1e3
+                ok = ok and observed_ms <= self.max_ms
+                checks.append(
+                    f"admitted {self.stat}={observed_ms:.1f}ms (max {self.max_ms}ms)"
+                )
+        shed_ratio = stats["shed"] / stats["offered"] if stats["offered"] else 0.0
+        if self.max_shed_ratio is not None:
+            ok = ok and shed_ratio <= self.max_shed_ratio
+            checks.append(
+                f"shed_ratio={shed_ratio:.3f} (max {self.max_shed_ratio})"
+            )
+        ok = ok and count >= self.min_count
+        observed = {
+            "goodput_per_s": round(goodput, 3),
+            "shed_ratio": round(shed_ratio, 6),
+            "completed": stats["completed"],
+            "shed": stats["shed"],
+            "offered": stats["offered"],
+        }
+        if observed_ms is not None:
+            observed[f"admitted_{self.stat}_ms"] = round(observed_ms, 3)
+        return self._verdict(
+            ok,
+            observed,
+            f"goodput >= {self.min_goodput_fraction} * {self.capacity}/s",
+            "; ".join(checks),
+        )
+
+
 _BUILDERS = {
     "latency": (LatencySlo, {"stat", "max_ms", "after", "metric", "min_count"}),
     "counter": (CounterSlo, {"counter", "max", "min", "equals"}),
     "accounting": (AccountingSlo, {"max_errors", "max_shed"}),
     "reconciliation": (ReconciliationSlo, set()),
     "message_budget": (MessageBudgetSlo, {"numerator", "denominator", "max_ratio"}),
+    "degradation": (
+        DegradationSlo,
+        {
+            "capacity", "min_goodput_fraction", "stat", "max_ms",
+            "max_shed_ratio", "min_count",
+        },
+    ),
 }
 
 

@@ -72,12 +72,21 @@ class GroupSpec:
     shards: int = 0
     min_members_per_shard: int = 1
     layout: str = "round_robin"
+    #: admission-control policy (repro.overload.AdmissionConfig keys);
+    #: empty dict = no admission control, seed behaviour.  Applied at every
+    #: client binding (the ingress), and additionally at the request
+    #: managers for open bindings (the group-knowledge backstop).
+    admission: Dict = field(default_factory=dict)
+    #: bound on each group session's flow-control pending queue
+    #: (0 = unbounded, seed behaviour); overflowing sends shed
+    flow_max_queue: int = 0
 
     _FIELDS = (
         "replicas", "style", "ordering", "restricted", "async_forwarding",
         "policy", "liveliness", "suspicion_timeout", "flush_timeout",
         "silence_period", "liveliness_config", "ordering_config", "retry",
-        "trace", "shards", "min_members_per_shard", "layout",
+        "trace", "shards", "min_members_per_shard", "layout", "admission",
+        "flow_max_queue",
     )
 
     def __post_init__(self):
@@ -104,10 +113,13 @@ class GroupSpec:
         _check_choice("group", "ordering", self.ordering, Ordering.ALL)
         _check_choice("group", "policy", self.policy, ReplicationPolicy.ALL_POLICIES)
         _check_choice("group", "liveliness", self.liveliness, Liveliness.ALL)
+        if self.flow_max_queue < 0:
+            raise ValueError("group.flow_max_queue must be >= 0 (0 = unbounded)")
         self.build_liveliness_config()  # validate eagerly
         self.build_ordering_config()
         self.build_retry_policy()
         self.build_trace_config()
+        self.build_admission_config()
 
     def build_liveliness_config(self) -> LivelinessConfig:
         """The group's quiescence tuning (empty dict = library defaults)."""
@@ -153,6 +165,19 @@ class GroupSpec:
             return RetryPolicy.from_dict(self.retry)
         except (TypeError, ValueError) as exc:
             raise ValueError(f"group.retry: {exc}") from exc
+
+    def build_admission_config(self):
+        """Admission control policy (empty dict = off, seed behaviour)."""
+        from repro.overload import AdmissionConfig
+
+        if not isinstance(self.admission, dict):
+            raise ValueError("group.admission must be an object")
+        if not self.admission:
+            return None
+        try:
+            return AdmissionConfig.from_dict(self.admission)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"group.admission: {exc}") from exc
 
     @classmethod
     def from_dict(cls, data: Dict) -> "GroupSpec":

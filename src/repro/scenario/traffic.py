@@ -18,6 +18,7 @@ from __future__ import annotations
 import bisect
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import Overloaded
 from repro.scenario.arrivals import ArrivalProcess, next_arrival
 from repro.sim import Future, Simulator, sleep, spawn
 
@@ -256,7 +257,8 @@ class TrafficStats:
         self.offered = 0
         self.completed = 0
         self.errors = 0
-        #: arrivals refused because max_in_flight was reached (load shedding)
+        #: arrivals refused by load shedding: the generator's own
+        #: max_in_flight cap, or admission control (an Overloaded failure)
         self.shed = 0
         #: (issue_time_elapsed, latency_seconds) per completed request
         self.samples: List[Tuple[float, float]] = []
@@ -374,8 +376,14 @@ class OpenLoopGenerator:
         self.in_flight -= 1
         self._in_flight_gauge.set(float(self.in_flight))
         if future.failed:
-            self.stats.errors += 1
-            self._errors_c.inc()
+            if isinstance(future.exception, Overloaded):
+                # admission control refused the call before execution: that
+                # is load shedding working, not a protocol failure
+                self.stats.shed += 1
+                self._shed_c.inc()
+            else:
+                self.stats.errors += 1
+                self._errors_c.inc()
         else:
             latency = (self.sim.now - self.start_time) - issued_at
             self.stats.completed += 1

@@ -166,6 +166,7 @@ class ShardedServer:
         policy: str = ReplicationPolicy.ACTIVE,
         config: Optional[GroupConfig] = None,
         async_forwarding: bool = False,
+        admission=None,
     ):
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
@@ -185,6 +186,7 @@ class ShardedServer:
         self.policy = policy
         self.config = config or GroupConfig(ordering="asymmetric")
         self.async_forwarding = async_forwarding
+        self.admission = admission
 
         self.parent = _ParentMember(
             self,
@@ -336,6 +338,7 @@ class ShardedServer:
             policy=self.policy,
             config=self._shard_config(assigned[0]),
             async_forwarding=self.async_forwarding,
+            admission=self.admission,
         )
         self.shard_servers[shard_no] = server
         self.service.servers[sub_name] = server
@@ -355,6 +358,7 @@ class ShardedServer:
             flush_timeout=cfg.flush_timeout,
             sequencer_hint=anchor,
             send_window=cfg.send_window,
+            flow_max_queue=cfg.flow_max_queue,
             liveliness_config=cfg.liveliness_config,
             ordering_config=cfg.ordering_config,
         )

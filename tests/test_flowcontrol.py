@@ -3,7 +3,7 @@
 import pytest
 
 from repro.groupcomm import GroupConfig, Ordering
-from repro.groupcomm.flowcontrol import FlowController
+from repro.groupcomm.flowcontrol import FlowController, FlowQueueFull
 from tests.conftest import Cluster, Collector
 from tests.test_groupcomm_basic import build_group
 
@@ -39,6 +39,48 @@ class TestFlowControllerUnit:
         flow.release(5)
         assert flow.in_flight == 0
 
+    def test_bounded_queue_overflow_refuses_without_queueing(self):
+        flow = FlowController(1, max_queue=2)
+        assert flow.try_acquire("a")
+        assert not flow.try_acquire("b")
+        assert not flow.try_acquire("c")
+        with pytest.raises(FlowQueueFull):
+            flow.try_acquire("d")
+        assert flow.queued == 2  # the refused payload was not queued
+        assert flow.sends_refused == 1
+        with pytest.raises(ValueError):
+            FlowController(1, max_queue=-1)
+
+    def test_requeue_bypasses_the_bound_for_view_change_replay(self):
+        flow = FlowController(1, max_queue=1)
+        flow.try_acquire("a")
+        flow.try_acquire("b")
+        # work admitted before a view change must survive the replay even
+        # when the bounded queue is momentarily full
+        assert not flow.requeue("c")
+        assert flow.queued == 2
+
+    def test_occupancy_tracks_the_fuller_of_window_and_queue(self):
+        flow = FlowController(4)  # unbounded queue: window only
+        flow.try_acquire("a")
+        flow.try_acquire("b")
+        assert flow.occupancy() == 0.5
+        for i in range(10):
+            flow.try_acquire(i)
+        assert flow.occupancy() == 1.0  # clamped despite the long queue
+
+        bounded = FlowController(4, max_queue=10)
+        for i in range(9):
+            bounded.try_acquire(i)
+        assert bounded.occupancy() == 1.0  # window saturated
+        bounded.release(4)
+        for _ in range(4):
+            bounded.drain()
+        # 4 in flight, 1 queued: queue pressure 0.1 < window pressure 1.0
+        assert bounded.occupancy() == 1.0
+        bounded.release(2)
+        assert bounded.occupancy() == 0.5
+
     def test_reset_and_pop_queued(self):
         flow = FlowController(1)
         flow.try_acquire("a")
@@ -71,6 +113,26 @@ class TestFlowControlIntegration:
         # before any acks return, at most `window` own messages are unstable
         own = [m for m in sessions[0].unstable.values() if m.sender == "n0"]
         assert len(own) <= 4
+
+    def test_bounded_queue_overflows_out_of_send_and_publishes_gauges(self):
+        c = Cluster(3)
+        config = GroupConfig(
+            ordering=Ordering.ASYMMETRIC, send_window=2, flow_max_queue=3
+        )
+        sessions = build_group(c, config)
+        col = Collector(sessions[1])
+        for i in range(5):  # fills the window (2) and the queue (3)
+            sessions[0].send(i)
+        with pytest.raises(FlowQueueFull):
+            sessions[0].send(99)
+        metrics = c.sim.obs.metrics
+        assert metrics.gauge("gc.flow.in_flight").value == 2
+        assert metrics.gauge("gc.flow.queued").value == 3
+        assert sessions[0].local_pushback() == 1.0
+        c.run(3.0)
+        # everything accepted before the overflow still delivers in order
+        assert col.payloads == list(range(5))
+        assert metrics.gauge("gc.flow.queued").value == 0
 
     def test_view_change_mid_burst_loses_nothing(self):
         from repro.groupcomm import Liveliness

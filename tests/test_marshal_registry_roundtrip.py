@@ -46,6 +46,7 @@ def _sample_data_msg() -> DataMsg:
         hb_period=0.05,
         frontier=(31, "m1"),
         era="era-1",
+        pushback=0.25,
     )
 
 
@@ -88,7 +89,9 @@ FIELD_SAMPLES = {
     "operation": "op",
     "origin": "c1",
     "parts": [(0, (1,)), (1, (2, "x"))],
+    "pushback": 0.25,
     "rank": 1,
+    "retry_after": 0.05,
     "own_replies": lambda: [_sample_reply()],
     "payload": b"payload",
     "primary": 0,

@@ -1,0 +1,412 @@
+"""Overload control: admission, retry-after, shedding, degradation SLOs."""
+
+import json
+import random
+
+import pytest
+
+from repro.bench.workloads import run_until_done
+from repro.core import BindingStyle, Mode
+from repro.errors import Overloaded
+from repro.groupcomm import GroupConfig, Liveliness, Ordering
+from repro.overload import AdmissionConfig, AdmissionController
+from repro.recovery import RetryPolicy
+from repro.scenario import (
+    FaultEvent,
+    FaultSchedule,
+    OpenLoopGenerator,
+    PoissonArrivals,
+    Population,
+    SloContext,
+    build_slos,
+    run_scenario,
+)
+from repro.scenario.traffic import TrafficStats
+from repro.sim import Simulator
+from tests.core_helpers import AppCluster, Counter
+
+FAST = GroupConfig(
+    ordering=Ordering.ASYMMETRIC,
+    liveliness=Liveliness.LIVELY,
+    silence_period=20e-3,
+    suspicion_timeout=100e-3,
+)
+
+
+# ---------------------------------------------------------------------------
+# AdmissionConfig
+# ---------------------------------------------------------------------------
+class TestAdmissionConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionConfig(max_inflight=-1)
+        with pytest.raises(ValueError):
+            AdmissionConfig(queue_delay_high=-0.1)
+        with pytest.raises(ValueError):
+            AdmissionConfig(queue_delay_high=0.1, queue_delay_low=0.2)
+        with pytest.raises(ValueError):
+            AdmissionConfig(pushback_high=0.0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(retry_after=0.0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(probe_interval=0.0)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown keys"):
+            AdmissionConfig.from_dict({"max_inflight": 4, "bogus": 1})
+
+    def test_round_trips_through_dict(self):
+        cfg = AdmissionConfig(max_inflight=8, queue_delay_high=0.2, retry_after=0.1)
+        assert AdmissionConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_effective_low_defaults_to_half_of_high(self):
+        assert AdmissionConfig(queue_delay_high=0.4).effective_low == 0.2
+        assert (
+            AdmissionConfig(queue_delay_high=0.4, queue_delay_low=0.3).effective_low
+            == 0.3
+        )
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy.retry_after_delay
+# ---------------------------------------------------------------------------
+class TestRetryAfterDelay:
+    POLICY = RetryPolicy(max_attempts=3, base_delay=0.05, max_delay=0.5, jitter=0.2)
+
+    def test_hint_replaces_exponential_envelope(self):
+        rng = random.Random(1)
+        for _ in range(100):
+            d = self.POLICY.retry_after_delay(0.2, attempt=1, rng=rng)
+            # jittered around the hint: 0.2 * [0.9, 1.1)
+            assert 0.2 * 0.9 <= d <= 0.2 * 1.1
+
+    def test_hint_is_capped_and_floored(self):
+        no_jitter = RetryPolicy(max_attempts=3, base_delay=0.05, max_delay=0.5, jitter=0.0)
+        rng = random.Random(1)
+        assert no_jitter.retry_after_delay(10.0, 1, rng) == 0.5  # cap at max_delay
+        assert no_jitter.retry_after_delay(1e-4, 1, rng) == 0.05  # floor at base
+
+    def test_nonpositive_hint_falls_back_to_backoff(self):
+        rng_a, rng_b = random.Random(7), random.Random(7)
+        assert self.POLICY.retry_after_delay(0.0, 2, rng_a) == self.POLICY.delay(
+            2, rng_b
+        )
+
+
+# ---------------------------------------------------------------------------
+# AdmissionController
+# ---------------------------------------------------------------------------
+class TestAdmissionController:
+    def make(self, **kwargs):
+        sim = Simulator(seed=1)
+        return sim, AdmissionController(sim, AdmissionConfig(**kwargs), name="t")
+
+    def test_inflight_bound_sheds_and_release_reopens(self):
+        sim, adm = self.make(max_inflight=2, retry_after=0.05)
+        assert adm.try_admit() is None
+        assert adm.try_admit() is None
+        hint = adm.try_admit()
+        assert hint == pytest.approx(0.05 * 4.0)  # full pressure: 4x base
+        metrics = sim.obs.metrics
+        assert metrics.counter("overload.admitted").value == 2
+        assert metrics.counter("overload.shed").value == 1
+        assert metrics.gauge("overload.inflight").value == 2
+        adm.release()
+        assert adm.try_admit() is None
+        adm.release()
+        adm.release()
+        adm.release()  # over-release never goes negative
+        assert adm.inflight >= 0
+        assert metrics.gauge("overload.inflight").value >= 0
+
+    def test_pushback_sheds_with_pressure_scaled_hint(self):
+        _sim, adm = self.make(max_inflight=0, pushback_high=0.9, retry_after=0.1)
+        assert adm.try_admit(pushback=0.5) is None  # below threshold
+        hint = adm.try_admit(pushback=0.95)
+        assert hint == pytest.approx(0.1 * (1.0 + 3.0 * 0.95))
+
+    def test_everything_disabled_admits_all(self):
+        _sim, adm = self.make(max_inflight=0, pushback_high=2.0)
+        for _ in range(1000):
+            assert adm.try_admit(pushback=1.0) is None
+
+    def test_watermark_hysteresis(self):
+        sim, adm = self.make(
+            max_inflight=0,
+            queue_delay_high=0.2,
+            queue_delay_low=0.05,
+            probe_interval=0.1,
+        )
+        hist = sim.obs.metrics.histogram("inv.phase.queue")
+        crossings = sim.obs.metrics.counter("overload.watermark_crossings")
+
+        # queue delay above the high watermark: the next probe starts shedding
+        for _ in range(10):
+            hist.record(0.5)
+        sim.run(until=0.2)
+        assert adm.try_admit() is not None
+        assert crossings.value == 1
+
+        # between low and high: hysteresis keeps shedding
+        for _ in range(10):
+            hist.record(0.1)
+        sim.run(until=0.4)
+        assert adm.try_admit() is not None
+        assert crossings.value == 1  # same episode, no new crossing
+
+        # below the low watermark: the next probe reopens
+        for _ in range(10):
+            hist.record(0.01)
+        sim.run(until=0.6)
+        assert adm.try_admit() is None
+        adm.release()
+
+    def test_watermark_clears_when_queues_drain_silently(self):
+        sim, adm = self.make(max_inflight=0, queue_delay_high=0.2, probe_interval=0.1)
+        hist = sim.obs.metrics.histogram("inv.phase.queue")
+        for _ in range(5):
+            hist.record(1.0)
+        sim.run(until=0.2)
+        assert adm.try_admit() is not None  # shedding
+        # no completions at all and nothing in flight: the queues the
+        # watermark was protecting are gone — the drain-out escape reopens
+        sim.run(until=0.5)
+        assert adm.try_admit() is None
+        adm.release()
+
+    def test_reset_clears_inflight_and_shedding(self):
+        sim, adm = self.make(max_inflight=1)
+        assert adm.try_admit() is None
+        assert adm.try_admit() is not None
+        adm.reset()
+        assert adm.inflight == 0
+        assert sim.obs.metrics.gauge("overload.inflight").value == 0
+        assert adm.try_admit() is None
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: shed, retry, exactly-once
+# ---------------------------------------------------------------------------
+def test_client_side_shed_fails_fast_with_retry_after():
+    c = AppCluster(servers=3, clients=1)
+    c.serve_all("svc", Counter, config=FAST)
+    binding = c.client(0).bind(
+        "svc",
+        style=BindingStyle.CLOSED,
+        liveliness=Liveliness.LIVELY,
+        suspicion_timeout=100e-3,
+        admission=AdmissionConfig(max_inflight=1, retry_after=0.05),
+    )
+    c.run(1.0)
+    assert binding.ready.done
+
+    first = binding.invoke("incr", (1,), mode=Mode.FIRST, timeout=5.0)
+    second = binding.invoke("incr", (1,), mode=Mode.FIRST, timeout=5.0)
+    # the second call is shed synchronously: nothing reached the wire
+    assert second.done and second.failed
+    assert isinstance(second.exception, Overloaded)
+    assert second.exception.retry_after > 0
+    c.run(2.0)
+    assert first.done and not first.failed
+    # the slot freed by completion admits the next call
+    third = binding.invoke("incr", (1,), mode=Mode.FIRST, timeout=5.0)
+    c.run(2.0)
+    assert third.done and not third.failed
+
+
+def test_manager_shed_then_retry_completes_exactly_once():
+    """A shed call is never partially executed: the retry under the same
+    call number runs fresh through the reply cache and applies once."""
+    c = AppCluster(servers=3, clients=1)
+    servers = c.serve_all(
+        "svc",
+        Counter,
+        config=FAST,
+        admission=AdmissionConfig(max_inflight=1, retry_after=0.05),
+    )
+    binding = c.client(0).bind(
+        "svc",
+        style=BindingStyle.OPEN,
+        restricted=True,
+        liveliness=Liveliness.LIVELY,
+        suspicion_timeout=100e-3,
+        retry_policy=RetryPolicy(max_attempts=5, base_delay=0.05, max_delay=0.5),
+    )
+    c.run(1.0)
+    assert binding.ready.done
+
+    futures = [
+        binding.invoke("incr", (1,), mode=Mode.FIRST, timeout=8.0) for _ in range(4)
+    ]
+    c.run(10.0)
+    assert all(f.done and not f.failed for f in futures)
+    # the manager shed the burst down to one in flight, the client honored
+    # the ShedReply hints, and every retried call still applied exactly once
+    honored = c.sim.obs.metrics.counter("overload.retry_after_honored").value
+    assert honored >= 1
+    assert c.sim.obs.metrics.counter("overload.shed").value >= 1
+    assert {s.servant.value for s in servers} == {4}
+
+
+def test_manager_crash_while_shedding_stays_exactly_once():
+    """Mid-ramp view change: the manager crashes while admission is
+    shedding; the rebind continues shedding and nothing double-executes."""
+    c = AppCluster(servers=3, clients=1)
+    servers = c.serve_all(
+        "svc",
+        Counter,
+        config=FAST,
+        admission=AdmissionConfig(max_inflight=2, retry_after=0.05),
+    )
+    binding = c.client(0).bind(
+        "svc",
+        style=BindingStyle.OPEN,
+        restricted=True,
+        liveliness=Liveliness.LIVELY,
+        suspicion_timeout=100e-3,
+    )
+    c.run(1.0)
+    assert binding.ready.done
+
+    def issue():
+        return binding.invoke("incr", (1,), mode=Mode.FIRST, timeout=8.0)
+
+    generator = OpenLoopGenerator(
+        c.sim,
+        [issue],
+        PoissonArrivals(300.0),
+        Population(initial=1),
+        duration=2.0,
+    ).start()
+    schedule = FaultSchedule([FaultEvent(at=0.8, kind="crash", target="manager")])
+    schedule.install(c.sim, c.net, resolve_target=lambda name: binding.manager)
+    run_until_done(c.sim, [generator.finished], deadline=c.sim.now + 30.0)
+
+    stats = generator.stats
+    assert stats.offered > 100
+    assert stats.shed > 0  # admission engaged on both sides of the crash
+    assert stats.lost == 0  # every future resolved: completed, errored, or shed
+    assert binding.rebinds >= 1
+    crashed = schedule.log[0]["target"]
+    survivors = [s for s in servers if s.member_id != crashed]
+    # exactly-once across shed + view change: every completed incr applied
+    # once on every survivor, and no shed call was partially executed
+    values = {s.servant.value for s in survivors}
+    assert values == {stats.completed}
+
+
+# ---------------------------------------------------------------------------
+# scenario integration: sheds are not protocol failures
+# ---------------------------------------------------------------------------
+OVERLOAD_SPEC = {
+    "name": "overload-smoke",
+    "seed": 11,
+    "topology": "lan",
+    "settle": 1.0,
+    "group": {
+        "replicas": 3,
+        "style": "open",
+        "ordering": "asymmetric",
+        "admission": {"max_inflight": 4, "retry_after": 0.05},
+        "flow_max_queue": 64,
+    },
+    "traffic": {
+        "arrivals": {"kind": "poisson", "rate": 500.0},
+        "churn": {"initial": 1},
+        "duration": 2.0,
+        "drain": 20.0,
+        "workload": "request_reply",
+        "mode": "first",
+        "bindings": 2,
+        "timeout": 10.0,
+    },
+    "slos": [
+        {"kind": "accounting", "name": "no-protocol-failures", "max_errors": 0},
+        {"kind": "reconciliation", "name": "traffic-reconciles"},
+        {"kind": "counter", "name": "shedding-engaged", "counter": "overload.shed", "min": 1},
+    ],
+}
+
+
+def test_scenario_sheds_are_not_protocol_failures():
+    report = run_scenario(json.loads(json.dumps(OVERLOAD_SPEC)))
+    traffic = report["traffic"]
+    assert traffic["shed"] > 0
+    assert traffic["errors"] == 0  # Overloaded is shed accounting, not failure
+    assert traffic["lost"] == 0
+    # accounting + reconciliation invariants hold while shedding
+    assert report["passed"], [s for s in report["slos"] if not s["ok"]]
+    counters = report["metrics"]["counters"]
+    assert counters["overload.shed"] >= traffic["shed"]
+    assert counters["overload.admitted"] >= traffic["completed"]
+
+
+def test_scenario_spec_validates_admission_and_flow_queue():
+    spec = json.loads(json.dumps(OVERLOAD_SPEC))
+    spec["group"]["admission"] = {"max_inflight": 4, "nope": 1}
+    with pytest.raises(ValueError, match="unknown keys"):
+        run_scenario(spec)
+    spec = json.loads(json.dumps(OVERLOAD_SPEC))
+    spec["group"]["flow_max_queue"] = -1
+    with pytest.raises(ValueError, match="flow_max_queue"):
+        run_scenario(spec)
+
+
+# ---------------------------------------------------------------------------
+# degradation SLO
+# ---------------------------------------------------------------------------
+def _degradation_ctx(completed, shed, duration, latency_s):
+    stats = TrafficStats()
+    stats.offered = completed + shed
+    stats.completed = completed
+    stats.shed = shed
+    stats.samples = [(0.0, latency_s)] * completed
+    return SloContext(metrics=None, stats=stats, snapshot={}, duration=duration)
+
+
+DEGRADATION_SPEC = {
+    "kind": "degradation",
+    "name": "graceful",
+    "capacity": 100.0,
+    "min_goodput_fraction": 0.8,
+    "stat": "p99",
+    "max_ms": 50.0,
+    "max_shed_ratio": 0.9,
+}
+
+
+def test_degradation_slo_passes_at_capacity():
+    (slo,) = build_slos([dict(DEGRADATION_SPEC)])
+    verdict = slo.evaluate(_degradation_ctx(900, 600, 10.0, 0.02))
+    assert verdict["ok"]
+    assert verdict["observed"]["goodput_per_s"] == 90.0
+    assert verdict["observed"]["admitted_p99_ms"] == 20.0
+
+
+def test_degradation_slo_fails_each_bound():
+    (slo,) = build_slos([dict(DEGRADATION_SPEC)])
+    # goodput below the floor
+    assert not slo.evaluate(_degradation_ctx(500, 100, 10.0, 0.02))["ok"]
+    # admitted latency above the bound
+    assert not slo.evaluate(_degradation_ctx(900, 100, 10.0, 0.2))["ok"]
+    # shed ratio above the cap
+    assert not slo.evaluate(_degradation_ctx(900, 20000, 10.0, 0.02))["ok"]
+    # no duration in context: cannot compute goodput
+    assert not slo.evaluate(_degradation_ctx(900, 100, None, 0.02))["ok"]
+
+
+def test_degradation_slo_spec_validation():
+    with pytest.raises(ValueError):
+        build_slos([{"kind": "degradation", "name": "x", "capacity": 0.0}])
+    with pytest.raises(ValueError):
+        build_slos(
+            [{"kind": "degradation", "name": "x", "capacity": 10.0,
+              "min_goodput_fraction": 1.5}]
+        )
+    with pytest.raises(ValueError):
+        build_slos(
+            [{"kind": "degradation", "name": "x", "capacity": 10.0,
+              "max_shed_ratio": 2.0}]
+        )
+    with pytest.raises(ValueError, match="unknown"):
+        build_slos([{"kind": "degradation", "name": "x", "capacity": 10.0, "nope": 1}])
